@@ -1,0 +1,780 @@
+//! Experiment runners: one per figure of the paper's evaluation.
+//!
+//! Costs are aggregated per *program* (summing over its functions) and
+//! normalised to the optimal allocation's cost for the same program and
+//! register count, exactly as in the paper. Programs whose optimal cost
+//! is zero at a given `R` (no spilling needed) are excluded from that
+//! configuration's normalised statistics.
+
+use crate::stats::{self, FiveNum};
+use crate::suites::Workload;
+use lra_core::baselines::{BeladyLinearScan, ChaitinBriggs, LinearScan};
+use lra_core::layered::Layered;
+use lra_core::problem::{Allocator, Instance};
+use lra_core::{LayeredHeuristic, Optimal};
+use std::collections::BTreeMap;
+
+/// The register counts of Figures 8–13.
+pub const CHORDAL_REGISTER_COUNTS: [u32; 6] = [1, 2, 4, 8, 16, 32];
+/// The register counts of Figure 14.
+pub const JVM_REGISTER_COUNTS: [u32; 8] = [2, 4, 6, 8, 10, 12, 14, 16];
+
+/// Which instance an algorithm consumes.
+enum View {
+    Graph,
+    LinearScan,
+}
+
+/// Cost function of one algorithm column.
+type RunFn = Box<dyn Fn(&Instance, u32) -> u64>;
+
+/// An algorithm column of a figure.
+struct Column {
+    name: &'static str,
+    run: RunFn,
+    view: View,
+}
+
+fn chordal_columns() -> Vec<Column> {
+    fn col(name: &'static str, a: impl Allocator + 'static) -> Column {
+        Column {
+            name,
+            run: Box::new(move |inst, r| a.allocate(inst, r).spill_cost),
+            view: View::Graph,
+        }
+    }
+    vec![
+        col("GC", ChaitinBriggs::new()),
+        col("NL", Layered::nl()),
+        col("FPL", Layered::fpl()),
+        col("BL", Layered::bl()),
+        col("BFPL", Layered::bfpl()),
+        col("Optimal", Optimal::new()),
+    ]
+}
+
+fn jvm_columns() -> Vec<Column> {
+    vec![
+        Column {
+            name: "DLS",
+            run: Box::new(|inst, r| LinearScan::new().allocate(inst, r).spill_cost),
+            view: View::LinearScan,
+        },
+        Column {
+            name: "BLS",
+            run: Box::new(|inst, r| BeladyLinearScan::new().allocate(inst, r).spill_cost),
+            view: View::LinearScan,
+        },
+        Column {
+            name: "GC",
+            run: Box::new(|inst, r| ChaitinBriggs::new().allocate(inst, r).spill_cost),
+            view: View::Graph,
+        },
+        Column {
+            name: "LH",
+            run: Box::new(|inst, r| LayeredHeuristic::new().allocate(inst, r).spill_cost),
+            view: View::Graph,
+        },
+        Column {
+            name: "Optimal",
+            run: Box::new(|inst, r| Optimal::new().allocate(inst, r).spill_cost),
+            view: View::Graph,
+        },
+    ]
+}
+
+/// Per-program absolute costs for one algorithm at one register count.
+fn per_program_costs(workloads: &[Workload], col: &Column, r: u32) -> BTreeMap<&'static str, u64> {
+    let mut acc: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for w in workloads {
+        let inst = match col.view {
+            View::Graph => &w.instance,
+            View::LinearScan => w.linear_scan_instance(),
+        };
+        *acc.entry(w.program).or_insert(0) += (col.run)(inst, r);
+    }
+    acc
+}
+
+/// One row of a mean-cost figure: register count plus the mean
+/// normalised cost of each algorithm.
+#[derive(Clone, Debug)]
+pub struct MeanRow {
+    /// Register count of this configuration.
+    pub registers: u32,
+    /// `(algorithm, mean normalised cost)` pairs, in column order.
+    pub values: Vec<(&'static str, f64)>,
+    /// Number of programs included (optimal cost > 0).
+    pub programs: usize,
+}
+
+/// Runs a Figure-8/9/10-style experiment: for each `R`, the mean over
+/// programs of `cost(alg, program) / cost(Optimal, program)`.
+pub fn mean_cost_figure(workloads: &[Workload], rs: &[u32]) -> Vec<MeanRow> {
+    figure_with_columns(workloads, rs, chordal_columns())
+}
+
+/// Figure 14: the same statistic on the non-chordal JVM suite with the
+/// JIT algorithm set.
+pub fn jvm_mean_figure(workloads: &[Workload], rs: &[u32]) -> Vec<MeanRow> {
+    figure_with_columns(workloads, rs, jvm_columns())
+}
+
+fn figure_with_columns(workloads: &[Workload], rs: &[u32], cols: Vec<Column>) -> Vec<MeanRow> {
+    let opt_idx = cols
+        .iter()
+        .position(|c| c.name == "Optimal")
+        .expect("column set includes Optimal");
+    rs.iter()
+        .map(|&r| {
+            let per_alg: Vec<BTreeMap<&'static str, u64>> = cols
+                .iter()
+                .map(|c| per_program_costs(workloads, c, r))
+                .collect();
+            let opt = &per_alg[opt_idx];
+            let included: Vec<&'static str> = opt
+                .iter()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(&p, _)| p)
+                .collect();
+            let values = cols
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let ratios: Vec<f64> = included
+                        .iter()
+                        .map(|p| per_alg[i][p] as f64 / opt[p] as f64)
+                        .collect();
+                    (c.name, stats::mean(&ratios))
+                })
+                .collect();
+            MeanRow {
+                registers: r,
+                values,
+                programs: included.len(),
+            }
+        })
+        .collect()
+}
+
+/// One distribution entry: the five-number summary of per-program
+/// normalised costs for one algorithm at one register count.
+#[derive(Clone, Debug)]
+pub struct DistributionRow {
+    /// Register count.
+    pub registers: u32,
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Distribution over programs of the normalised cost.
+    pub summary: FiveNum,
+}
+
+/// Runs a Figure-11/12/13-style experiment: the distribution over
+/// programs of normalised allocation costs, per algorithm and register
+/// count (Optimal excluded — it is 1.0 by definition).
+pub fn distribution_figure(workloads: &[Workload], rs: &[u32]) -> Vec<DistributionRow> {
+    let cols = chordal_columns();
+    let opt_idx = cols.iter().position(|c| c.name == "Optimal").expect("Optimal present");
+    let mut out = Vec::new();
+    for &r in rs {
+        let per_alg: Vec<BTreeMap<&'static str, u64>> = cols
+            .iter()
+            .map(|c| per_program_costs(workloads, c, r))
+            .collect();
+        let opt = &per_alg[opt_idx];
+        let included: Vec<&'static str> = opt
+            .iter()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(&p, _)| p)
+            .collect();
+        if included.is_empty() {
+            continue;
+        }
+        for (i, c) in cols.iter().enumerate() {
+            if i == opt_idx {
+                continue;
+            }
+            let ratios: Vec<f64> = included
+                .iter()
+                .map(|p| per_alg[i][p] as f64 / opt[p] as f64)
+                .collect();
+            out.push(DistributionRow {
+                registers: r,
+                algorithm: c.name,
+                summary: stats::five_number_summary(&ratios),
+            });
+        }
+    }
+    out
+}
+
+/// One bar of Figure 15: a benchmark's normalised cost under one
+/// algorithm at a fixed register count.
+#[derive(Clone, Debug)]
+pub struct PerBenchmarkRow {
+    /// Benchmark (program) name.
+    pub program: &'static str,
+    /// `(algorithm, normalised cost)` pairs.
+    pub values: Vec<(&'static str, f64)>,
+}
+
+/// Figure 15: per-benchmark normalised costs on the JVM suite at `r`
+/// registers. Benchmarks with zero optimal cost report 1.0 for every
+/// algorithm that also spills nothing.
+pub fn jvm_per_benchmark_figure(workloads: &[Workload], r: u32) -> Vec<PerBenchmarkRow> {
+    let cols = jvm_columns();
+    let opt_idx = cols.iter().position(|c| c.name == "Optimal").expect("Optimal present");
+    let per_alg: Vec<BTreeMap<&'static str, u64>> = cols
+        .iter()
+        .map(|c| per_program_costs(workloads, c, r))
+        .collect();
+    let programs: Vec<&'static str> = per_alg[opt_idx].keys().copied().collect();
+    programs
+        .iter()
+        .map(|&p| {
+            let opt_cost = per_alg[opt_idx][p];
+            let values = cols
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let cost = per_alg[i][p];
+                    let ratio = if opt_cost == 0 {
+                        if cost == 0 {
+                            1.0
+                        } else {
+                            f64::INFINITY
+                        }
+                    } else {
+                        cost as f64 / opt_cost as f64
+                    };
+                    (c.name, ratio)
+                })
+                .collect();
+            PerBenchmarkRow { program: p, values }
+        })
+        .collect()
+}
+
+/// One row of the ablation study: a layered-allocator configuration
+/// with its quality and runtime.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Configuration label (`NL/step1`, `BFPL/step2`, …).
+    pub config: String,
+    /// Mean normalised cost over programs, per register count.
+    pub mean_by_r: Vec<(u32, f64)>,
+    /// Total wall-clock time over the whole suite sweep.
+    pub total_time: std::time::Duration,
+}
+
+/// Ablation study over the layered design space (bias × fixed point ×
+/// step), quantifying what each §4 improvement buys and what the
+/// `step ≥ 2` dynamic program costs.
+pub fn ablation_figure(workloads: &[Workload], rs: &[u32]) -> Vec<AblationRow> {
+    let opt = Column {
+        name: "Optimal",
+        run: Box::new(|inst, r| Optimal::new().allocate(inst, r).spill_cost),
+        view: View::Graph,
+    };
+    let opt_costs: Vec<BTreeMap<&'static str, u64>> =
+        rs.iter().map(|&r| per_program_costs(workloads, &opt, r)).collect();
+
+    let mut configs: Vec<(String, Layered)> = Vec::new();
+    for step in [1u32, 2] {
+        for (bias, fixed_point) in [(false, false), (true, false), (false, true), (true, true)] {
+            let alg = Layered {
+                bias,
+                fixed_point,
+                step: 1,
+            };
+            let label = format!("{}/step{step}", alg.name());
+            configs.push((label, alg.with_step(step)));
+        }
+    }
+
+    configs
+        .into_iter()
+        .map(|(config, alg)| {
+            let start = std::time::Instant::now();
+            let mean_by_r = rs
+                .iter()
+                .enumerate()
+                .map(|(ri, &r)| {
+                    let col = Column {
+                        name: "layered",
+                        run: Box::new(move |inst, rr| alg.allocate(inst, rr).spill_cost),
+                        view: View::Graph,
+                    };
+                    let costs = per_program_costs(workloads, &col, r);
+                    let ratios: Vec<f64> = opt_costs[ri]
+                        .iter()
+                        .filter(|&(_, &c)| c > 0)
+                        .map(|(p, &c)| costs[p] as f64 / c as f64)
+                        .collect();
+                    (r, stats::mean(&ratios))
+                })
+                .collect();
+            AblationRow {
+                config,
+                mean_by_r,
+                total_time: start.elapsed(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the ablation study.
+pub fn render_ablation_table(title: &str, rows: &[AblationRow]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "# {title}");
+    if rows.is_empty() {
+        s.push_str("(no data)\n");
+        return s;
+    }
+    let _ = write!(s, "{:>12}", "config");
+    for (r, _) in &rows[0].mean_by_r {
+        let _ = write!(s, " {:>7}", format!("R={r}"));
+    }
+    let _ = writeln!(s, " {:>10}", "time");
+    for row in rows {
+        let _ = write!(s, "{:>12}", row.config);
+        for (_, v) in &row.mean_by_r {
+            let _ = write!(s, " {v:>7.3}");
+        }
+        let _ = writeln!(s, " {:>8.0}ms", row.total_time.as_secs_f64() * 1e3);
+    }
+    s
+}
+
+/// Result of the §2.3 spill-set inclusion study.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InclusionStats {
+    /// Functions whose optimal spill sets were inclusion-monotone over
+    /// the whole register sweep.
+    pub monotone: usize,
+    /// Functions checked.
+    pub total: usize,
+}
+
+/// Replays the empirical study of §2.3 (Diouf et al.): how often is the
+/// optimal spill set at `R` registers a superset of the optimal spill
+/// set at `R+1` registers? The paper reports 99.83% over SPEC JVM98
+/// methods; Figure 2 proves it cannot be 100%.
+///
+/// Optimal allocations are rarely unique, so we greedily search for an
+/// inclusion-monotone *chain* of optima: at each `R` the exact solver
+/// runs with weights scaled by `n+1` plus a unit bonus for variables
+/// allocated at the previous register count. The scaled optimum is
+/// still an optimum of the original weights, and among the optima it
+/// maximises overlap with the previous allocation.
+pub fn spill_set_inclusion_study(workloads: &[Workload], rs: &[u32]) -> InclusionStats {
+    use lra_core::problem::Instance;
+    let mut monotone = 0;
+    let mut total = 0;
+    for w in workloads {
+        let base = w.linear_scan_instance();
+        let wg = base.weighted_graph();
+        let n = wg.vertex_count() as u64;
+        let mut prev_alloc: Option<lra_graph::BitSet> = None;
+        let mut ok = true;
+        for &r in rs {
+            let inst = match (&prev_alloc, base.intervals()) {
+                (Some(prev), Some(ivs)) => {
+                    let weights: Vec<u64> = (0..wg.vertex_count())
+                        .map(|v| wg.weight(v) * (n + 1) + u64::from(prev.contains(v)))
+                        .collect();
+                    Instance::from_intervals(ivs.to_vec(), weights)
+                }
+                _ => base.clone(),
+            };
+            let a = Optimal::new().allocate(&inst, r);
+            if let Some(p) = &prev_alloc {
+                // More registers -> allocate a superset.
+                if !p.is_subset(&a.allocated) {
+                    ok = false;
+                }
+            }
+            prev_alloc = Some(a.allocated);
+        }
+        total += 1;
+        if ok {
+            monotone += 1;
+        }
+    }
+    InclusionStats { monotone, total }
+}
+
+/// Sweeps the `BLS` cost-band threshold and reports the mean normalised
+/// cost at each setting (threshold 0 degenerates to pure furthest-first
+/// only among exact cost ties; large thresholds approach pure Belady).
+pub fn bls_threshold_sweep(workloads: &[Workload], r: u32, thresholds: &[u32]) -> Vec<(u32, f64)> {
+    let opt = Column {
+        name: "Optimal",
+        run: Box::new(|inst, rr| Optimal::new().allocate(inst, rr).spill_cost),
+        view: View::Graph,
+    };
+    let opt_costs = per_program_costs(workloads, &opt, r);
+    thresholds
+        .iter()
+        .map(|&t| {
+            let col = Column {
+                name: "BLS",
+                run: Box::new(move |inst, rr| {
+                    BeladyLinearScan {
+                        threshold_percent: t,
+                    }
+                    .allocate(inst, rr)
+                    .spill_cost
+                }),
+                view: View::LinearScan,
+            };
+            let costs = per_program_costs(workloads, &col, r);
+            let ratios: Vec<f64> = opt_costs
+                .iter()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(p, &c)| costs[p] as f64 / c as f64)
+                .collect();
+            (t, stats::mean(&ratios))
+        })
+        .collect()
+}
+
+/// One row of the live-range-splitting study: spill-everywhere cost on
+/// the original program versus on the program split at every use
+/// (§2.1's load-store-optimisation view).
+#[derive(Clone, Debug)]
+pub struct SplitRow {
+    /// Register count.
+    pub registers: u32,
+    /// Total optimal spill cost over the suite, unsplit.
+    pub whole_ranges: u64,
+    /// Total optimal spill cost over the suite, split at every use.
+    pub split_ranges: u64,
+}
+
+/// Quantifies §2.1 item 3 / §4.3: spill-everywhere on use-split live
+/// ranges is the Appel–George load-store formulation, in which the
+/// short per-use sub-ranges (the future reloads) must themselves be
+/// allocated. Comparing its optimal cost with the whole-range optimum
+/// measures how much the plain spill-everywhere model *underestimates*
+/// by ignoring residual reload pressure.
+pub fn split_study(
+    functions: &[lra_ir::Function],
+    target: &lra_targets::Target,
+    rs: &[u32],
+) -> Vec<SplitRow> {
+    use lra_core::pipeline::{build_instance, InstanceKind};
+    use lra_ir::split::split_at_uses;
+    // §2.1 item 3 holds in the Appel–George regime where stores are
+    // free (a value may sit in memory and a register at once), so the
+    // study prices both sides with a store-free cost model.
+    let target = target.with_memory_costs(target.load_cost(), 0);
+    rs.iter()
+        .map(|&r| {
+            let mut whole = 0u64;
+            let mut split = 0u64;
+            for f in functions {
+                let a = build_instance(f, &target, InstanceKind::LinearIntervals);
+                whole += Optimal::new().allocate(&a, r).spill_cost;
+                let s = split_at_uses(f);
+                let b = build_instance(&s.function, &target, InstanceKind::LinearIntervals);
+                split += Optimal::new().allocate(&b, r).spill_cost;
+            }
+            SplitRow {
+                registers: r,
+                whole_ranges: whole,
+                split_ranges: split,
+            }
+        })
+        .collect()
+}
+
+/// Renders the splitting study.
+pub fn render_split_table(title: &str, rows: &[SplitRow]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "# {title}");
+    let _ = writeln!(
+        s,
+        "{:>10} {:>14} {:>14} {:>8}",
+        "registers", "whole ranges", "split at uses", "ratio"
+    );
+    for r in rows {
+        let ratio = if r.whole_ranges > 0 {
+            r.split_ranges as f64 / r.whole_ranges as f64
+        } else {
+            1.0
+        };
+        let _ = writeln!(
+            s,
+            "{:>10} {:>14} {:>14} {:>8.3}",
+            r.registers, r.whole_ranges, r.split_ranges, ratio
+        );
+    }
+    s
+}
+
+/// One row of the SSA-conversion study: allocation cost on the
+/// original non-SSA method versus on its pruned-SSA conversion.
+#[derive(Clone, Debug)]
+pub struct SsaConversionRow {
+    /// Register count.
+    pub registers: u32,
+    /// Total LH spill cost on the original (non-chordal) graphs.
+    pub lh_non_ssa: u64,
+    /// Total exact optimum on the original graphs.
+    pub opt_non_ssa: u64,
+    /// Total BFPL spill cost on the SSA-converted (chordal) graphs.
+    pub bfpl_ssa: u64,
+    /// Total exact optimum on the SSA-converted graphs.
+    pub opt_ssa: u64,
+}
+
+/// The "pre-spill phase in any compiler" study (§7): convert each JVM
+/// method to pruned SSA (`lra_ir::ssa::into_ssa`) and compare the
+/// layered-optimal allocator on the resulting chordal graph with the
+/// `LH` approximation on the original non-chordal graph. SSA versioning
+/// splits each variable at its merge points, so the SSA optimum is a
+/// finer-grained (never worse-modelled) target.
+pub fn ssa_conversion_study(
+    functions: &[lra_ir::Function],
+    target: &lra_targets::Target,
+    rs: &[u32],
+) -> Vec<SsaConversionRow> {
+    use lra_core::pipeline::{build_instance, InstanceKind};
+    use lra_ir::ssa::into_ssa;
+    let converted: Vec<lra_ir::Function> =
+        functions.iter().map(|f| into_ssa(f).function).collect();
+    rs.iter()
+        .map(|&r| {
+            let mut row = SsaConversionRow {
+                registers: r,
+                lh_non_ssa: 0,
+                opt_non_ssa: 0,
+                bfpl_ssa: 0,
+                opt_ssa: 0,
+            };
+            for (f, s) in functions.iter().zip(&converted) {
+                let orig = build_instance(f, target, InstanceKind::PreciseGraph);
+                row.lh_non_ssa += LayeredHeuristic::new().allocate(&orig, r).spill_cost;
+                row.opt_non_ssa += Optimal::new().allocate(&orig, r).spill_cost;
+                // The SSA side uses the linearised-interval view: still
+                // chordal (intervals), and the exact optimum stays
+                // polynomial (min-cost flow) at SSA-converted sizes.
+                let ssa = build_instance(s, target, InstanceKind::LinearIntervals);
+                row.bfpl_ssa += Layered::bfpl().allocate(&ssa, r).spill_cost;
+                row.opt_ssa += Optimal::new().allocate(&ssa, r).spill_cost;
+            }
+            row
+        })
+        .collect()
+}
+
+/// Renders the SSA-conversion study.
+///
+/// Absolute costs are not comparable across the two IRs (SSA versioning
+/// changes the value set and the SSA side uses the interval view), so
+/// the table also shows each heuristic normalised to *its own* exact
+/// optimum — the quantity that tells whether layered quasi-optimality
+/// survives the conversion.
+pub fn render_ssa_conversion_table(title: &str, rows: &[SsaConversionRow]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "# {title}");
+    let _ = writeln!(
+        s,
+        "{:>10} {:>12} {:>12} {:>9} {:>12} {:>12} {:>10}",
+        "registers", "LH(non-SSA)", "Opt(non-SSA)", "LH/Opt", "BFPL(SSA)", "Opt(SSA)", "BFPL/Opt"
+    );
+    for r in rows {
+        let ratio = |a: u64, b: u64| if b > 0 { a as f64 / b as f64 } else { 1.0 };
+        let _ = writeln!(
+            s,
+            "{:>10} {:>12} {:>12} {:>9.4} {:>12} {:>12} {:>10.4}",
+            r.registers,
+            r.lh_non_ssa,
+            r.opt_non_ssa,
+            ratio(r.lh_non_ssa, r.opt_non_ssa),
+            r.bfpl_ssa,
+            r.opt_ssa,
+            ratio(r.bfpl_ssa, r.opt_ssa)
+        );
+    }
+    s
+}
+
+/// Suite shape statistics (sizes and register pressure), for the
+/// `stats` CLI command and the calibration notes in EXPERIMENTS.md.
+pub fn render_suite_stats(title: &str, workloads: &[Workload]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "# {title}");
+    let n = workloads.len();
+    let verts: Vec<f64> = workloads.iter().map(|w| w.instance.vertex_count() as f64).collect();
+    let edges: Vec<f64> = workloads
+        .iter()
+        .map(|w| w.instance.graph().edge_count() as f64)
+        .collect();
+    let pressure: Vec<f64> = workloads.iter().map(|w| w.instance.max_live() as f64).collect();
+    let chordal = workloads.iter().filter(|w| w.instance.is_chordal()).count();
+    let _ = writeln!(s, "functions: {n} ({chordal} chordal)");
+    let _ = writeln!(
+        s,
+        "variables: mean {:.1}, max {:.0}",
+        stats::mean(&verts),
+        verts.iter().cloned().fold(0.0, f64::max)
+    );
+    let _ = writeln!(
+        s,
+        "interferences: mean {:.1}, max {:.0}",
+        stats::mean(&edges),
+        edges.iter().cloned().fold(0.0, f64::max)
+    );
+    let _ = writeln!(
+        s,
+        "MaxLive: mean {:.1}, max {:.0}",
+        stats::mean(&pressure),
+        pressure.iter().cloned().fold(0.0, f64::max)
+    );
+    s
+}
+
+/// Renders mean rows as an aligned text table (the printed "figure").
+pub fn render_mean_table(title: &str, rows: &[MeanRow]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "# {title}");
+    if rows.is_empty() {
+        s.push_str("(no data)\n");
+        return s;
+    }
+    let _ = write!(s, "{:>10} {:>6}", "registers", "progs");
+    for (name, _) in &rows[0].values {
+        let _ = write!(s, " {name:>8}");
+    }
+    s.push('\n');
+    for row in rows {
+        let _ = write!(s, "{:>10} {:>6}", row.registers, row.programs);
+        for (_, v) in &row.values {
+            let _ = write!(s, " {v:>8.3}");
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Renders distribution rows as an aligned text table.
+pub fn render_distribution_table(title: &str, rows: &[DistributionRow]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "# {title}");
+    let _ = writeln!(
+        s,
+        "{:>10} {:>6} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "registers", "alg", "min", "q1", "median", "q3", "max"
+    );
+    for r in rows {
+        let f = r.summary;
+        let _ = writeln!(
+            s,
+            "{:>10} {:>6} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            r.registers, r.algorithm, f.min, f.q1, f.median, f.q3, f.max
+        );
+    }
+    s
+}
+
+/// Renders Figure-15-style rows.
+pub fn render_per_benchmark_table(title: &str, rows: &[PerBenchmarkRow]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "# {title}");
+    if rows.is_empty() {
+        s.push_str("(no data)\n");
+        return s;
+    }
+    let _ = write!(s, "{:>10}", "benchmark");
+    for (name, _) in &rows[0].values {
+        let _ = write!(s, " {name:>8}");
+    }
+    s.push('\n');
+    for row in rows {
+        let _ = write!(s, "{:>10}", row.program);
+        for (_, v) in &row.values {
+            let _ = write!(s, " {v:>8.3}");
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Renders mean rows as CSV (one line per `(R, algorithm)`).
+pub fn mean_rows_to_csv(rows: &[MeanRow]) -> String {
+    let mut s = String::from("registers,algorithm,mean_normalized_cost,programs\n");
+    for row in rows {
+        for (name, v) in &row.values {
+            s.push_str(&format!("{},{},{:.6},{}\n", row.registers, name, v, row.programs));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suites;
+
+    #[test]
+    fn mean_figure_smoke_on_tiny_suite() {
+        // A couple of lao workloads keep this fast.
+        let ws: Vec<Workload> = suites::lao_kernels(3).into_iter().take(4).collect();
+        let rows = mean_cost_figure(&ws, &[2, 4]);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            // Optimal normalises to exactly 1.
+            let opt = row.values.iter().find(|(n, _)| *n == "Optimal").unwrap().1;
+            if row.programs > 0 {
+                assert!((opt - 1.0).abs() < 1e-12);
+                // Every heuristic is >= optimal.
+                for (name, v) in &row.values {
+                    assert!(*v >= 1.0 - 1e-12, "{name} below optimal: {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_figure_consistent_with_mean() {
+        let ws: Vec<Workload> = suites::lao_kernels(3).into_iter().take(4).collect();
+        let rows = distribution_figure(&ws, &[2]);
+        for r in &rows {
+            assert!(r.summary.min <= r.summary.median);
+            assert!(r.summary.median <= r.summary.max);
+            assert!(r.summary.min >= 1.0 - 1e-12, "nobody beats Optimal");
+        }
+    }
+
+    #[test]
+    fn jvm_figures_smoke() {
+        let ws: Vec<Workload> = suites::specjvm98(3).into_iter().take(6).collect();
+        let rows = jvm_mean_figure(&ws, &[6]);
+        assert_eq!(rows.len(), 1);
+        for (name, v) in &rows[0].values {
+            assert!(*v >= 1.0 - 1e-12, "{name} beat Optimal: {v}");
+        }
+        let per = jvm_per_benchmark_figure(&ws, 6);
+        assert!(!per.is_empty());
+    }
+
+    #[test]
+    fn tables_render() {
+        let ws: Vec<Workload> = suites::lao_kernels(3).into_iter().take(2).collect();
+        let rows = mean_cost_figure(&ws, &[2]);
+        let t = render_mean_table("fig", &rows);
+        assert!(t.contains("registers"));
+        assert!(t.contains("BFPL"));
+        let csv = mean_rows_to_csv(&rows);
+        assert!(csv.starts_with("registers,algorithm"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Experiment CLI: regenerates every figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p lra-bench -- all          # every figure
+//! cargo run --release -p lra-bench -- fig8         # one figure
+//! cargo run --release -p lra-bench -- fig14 --seed 7
+//! ```
+//!
+//! Tables are printed to stdout and mirrored as CSV under
+//! `target/experiments/`.
+
+use lra_bench::experiments::{
+    self, distribution_figure, jvm_mean_figure, jvm_per_benchmark_figure, mean_cost_figure,
+    CHORDAL_REGISTER_COUNTS, JVM_REGISTER_COUNTS,
+};
+use lra_bench::suites;
+use std::io::Write as _;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lra-bench <fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablation|inclusion|bls-sweep|split|ssa|stats|all> [--seed N]"
+    );
+    std::process::exit(2)
+}
+
+fn save_csv(name: &str, contents: &str) {
+    let dir = std::path::Path::new("target/experiments");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.csv"));
+        if let Ok(mut f) = std::fs::File::create(&path) {
+            let _ = f.write_all(contents.as_bytes());
+            eprintln!("(csv written to {})", path.display());
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut seed = 2013u64; // CGO 2013
+    let mut which = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "all" => which.extend([
+                "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+                "ablation", "inclusion", "bls-sweep", "split", "ssa", "stats",
+            ]),
+            "fig8" => which.push("fig8"),
+            "fig9" => which.push("fig9"),
+            "fig10" => which.push("fig10"),
+            "fig11" => which.push("fig11"),
+            "fig12" => which.push("fig12"),
+            "fig13" => which.push("fig13"),
+            "fig14" => which.push("fig14"),
+            "fig15" => which.push("fig15"),
+            "ablation" => which.push("ablation"),
+            "inclusion" => which.push("inclusion"),
+            "bls-sweep" => which.push("bls-sweep"),
+            "split" => which.push("split"),
+            "ssa" => which.push("ssa"),
+            "stats" => which.push("stats"),
+            _ => usage(),
+        }
+    }
+
+    // Generate only the suites the requested figures need.
+    let needs = |names: &[&str]| which.iter().any(|f| names.contains(f));
+    let spec: Option<Vec<suites::Workload>> =
+        needs(&["fig8", "fig11", "stats"]).then(|| suites::spec2000int(seed));
+    let eembc: Option<Vec<suites::Workload>> =
+        needs(&["fig9", "fig12", "stats"]).then(|| suites::eembc(seed));
+    let lao: Option<Vec<suites::Workload>> =
+        needs(&["fig10", "fig13", "ablation", "inclusion", "stats"]).then(|| suites::lao_kernels(seed));
+    let jvm: Option<Vec<suites::Workload>> =
+        needs(&["fig14", "fig15", "bls-sweep", "inclusion", "stats"]).then(|| suites::specjvm98(seed));
+    let get = |name: &str| -> &[suites::Workload] {
+        match name {
+            "spec" => spec.as_deref().expect("suite generated"),
+            "eembc" => eembc.as_deref().expect("suite generated"),
+            "lao" => lao.as_deref().expect("suite generated"),
+            "jvm" => jvm.as_deref().expect("suite generated"),
+            _ => unreachable!(),
+        }
+    };
+
+    for f in which {
+        match f {
+            "fig8" => {
+                let rows = mean_cost_figure(get("spec"), &CHORDAL_REGISTER_COUNTS);
+                print!(
+                    "{}",
+                    experiments::render_mean_table(
+                        "Figure 8: allocation cost, SPEC CPU2000int on ST231 (normalised to Optimal)",
+                        &rows
+                    )
+                );
+                save_csv("fig8", &experiments::mean_rows_to_csv(&rows));
+            }
+            "fig9" => {
+                let rows = mean_cost_figure(get("eembc"), &CHORDAL_REGISTER_COUNTS);
+                print!(
+                    "{}",
+                    experiments::render_mean_table(
+                        "Figure 9: allocation cost, EEMBC on ST231 (normalised to Optimal)",
+                        &rows
+                    )
+                );
+                save_csv("fig9", &experiments::mean_rows_to_csv(&rows));
+            }
+            "fig10" => {
+                let rows = mean_cost_figure(get("lao"), &CHORDAL_REGISTER_COUNTS);
+                print!(
+                    "{}",
+                    experiments::render_mean_table(
+                        "Figure 10: allocation cost, lao-kernels on ARMv7 (normalised to Optimal)",
+                        &rows
+                    )
+                );
+                save_csv("fig10", &experiments::mean_rows_to_csv(&rows));
+            }
+            "fig11" | "fig12" | "fig13" => {
+                let (suite, title) = match f {
+                    "fig11" => ("spec", "Figure 11: distribution over SPEC CPU2000int programs (ST231)"),
+                    "fig12" => ("eembc", "Figure 12: distribution over EEMBC programs (ST231)"),
+                    _ => ("lao", "Figure 13: distribution over lao-kernels programs (ARMv7)"),
+                };
+                let rows = distribution_figure(get(suite), &CHORDAL_REGISTER_COUNTS);
+                print!("{}", experiments::render_distribution_table(title, &rows));
+            }
+            "fig14" => {
+                let rows = jvm_mean_figure(get("jvm"), &JVM_REGISTER_COUNTS);
+                print!(
+                    "{}",
+                    experiments::render_mean_table(
+                        "Figure 14: layered-heuristic vs other allocators, SPEC JVM98 (normalised to Optimal)",
+                        &rows
+                    )
+                );
+                save_csv("fig14", &experiments::mean_rows_to_csv(&rows));
+            }
+            "fig15" => {
+                let rows = jvm_per_benchmark_figure(get("jvm"), 6);
+                print!(
+                    "{}",
+                    experiments::render_per_benchmark_table(
+                        "Figure 15: per-benchmark normalised cost, SPEC JVM98 at R = 6",
+                        &rows
+                    )
+                );
+            }
+            "ablation" => {
+                // lao-kernels: small enough that the step-2 clique-tree
+                // DP actually runs instead of falling back to Frank.
+                let rows = experiments::ablation_figure(get("lao"), &[2, 4, 8, 16]);
+                print!(
+                    "{}",
+                    experiments::render_ablation_table(
+                        "Ablation: bias x fixed-point x step on lao-kernels (mean normalised cost + total time)",
+                        &rows
+                    )
+                );
+            }
+            "inclusion" => {
+                println!("# Spill-set inclusion study (§2.3): existence of inclusion-monotone optimal chains");
+                for (label, suite, rs) in [
+                    ("lao-kernels, R = 1..8", "lao", vec![1u32, 2, 3, 4, 6, 8]),
+                    ("specjvm98 (interval view), R = 2..16", "jvm", vec![2, 4, 6, 8, 10, 12, 14, 16]),
+                ] {
+                    let s = experiments::spill_set_inclusion_study(get(suite), &rs);
+                    println!(
+                        "{label}: {}/{} functions inclusion-monotone ({:.1}%)",
+                        s.monotone,
+                        s.total,
+                        100.0 * s.monotone as f64 / s.total.max(1) as f64
+                    );
+                }
+            }
+            "bls-sweep" => {
+                let ws = get("jvm");
+                println!("# BLS threshold sweep, SPEC JVM98 at R = 6 (mean normalised cost)");
+                println!("{:>10} {:>8}", "threshold", "cost");
+                for (t, v) in experiments::bls_threshold_sweep(ws, 6, &[0, 5, 10, 25, 50, 100, 400]) {
+                    println!("{t:>9}% {v:>8.3}");
+                }
+            }
+            "split" => {
+                let functions = suites::lao_kernel_functions(seed);
+                let target = lra_targets::Target::new(lra_targets::TargetKind::ArmCortexA8);
+                let rows = experiments::split_study(&functions, &target, &[2, 4, 8, 16]);
+                print!(
+                    "{}",
+                    experiments::render_split_table(
+                        "Live-range splitting (\u{a7}2.1/\u{a7}4.3): optimal cost, whole ranges vs use-split ranges with reload pressure (lao-kernels)",
+                        &rows
+                    )
+                );
+            }
+            "ssa" => {
+                let functions = suites::specjvm98_functions(seed);
+                let target = lra_targets::Target::new(lra_targets::TargetKind::ArmCortexA8);
+                let rows = experiments::ssa_conversion_study(&functions, &target, &[4, 6, 8]);
+                print!(
+                    "{}",
+                    experiments::render_ssa_conversion_table(
+                        "SSA conversion as a pre-spill phase (\u{a7}7): JVM98 methods, total spill cost",
+                        &rows
+                    )
+                );
+            }
+            "stats" => {
+                for (title, suite) in [
+                    ("SPEC CPU2000int workload shape", "spec"),
+                    ("EEMBC workload shape", "eembc"),
+                    ("lao-kernels workload shape", "lao"),
+                    ("SPEC JVM98 workload shape", "jvm"),
+                ] {
+                    print!("{}", experiments::render_suite_stats(title, get(suite)));
+                    println!();
+                }
+            }
+            _ => unreachable!(),
+        }
+        println!();
+    }
+}

@@ -1,0 +1,330 @@
+//! Simulated benchmark suites.
+//!
+//! Each suite mirrors the benchmark set the paper evaluates on, with
+//! per-program seeded generators shaped to the suite's character:
+//!
+//! * [`spec2000int`] — 12 general-purpose integer applications
+//!   (moderate loops, larger functions, calls) on ST231,
+//! * [`eembc`] — 16 embedded kernels (small, loop-dominated) on ST231,
+//! * [`lao_kernels`] — 12 very small STMicroelectronics kernels on
+//!   ARMv7 (the paper notes these are "small benchmarks" that amplify
+//!   bad allocation choices),
+//! * [`specjvm98`] — 9 Java benchmarks compiled non-SSA (JikesRVM),
+//!   giving non-chordal interference graphs; each workload carries
+//!   *both* the precise graph instance (for `GC`/`LH`/`Optimal`) and
+//!   the linearised interval instance (for the linear scans).
+//!
+//! The SSA suites use linearised-interval instances, so the interference
+//! graphs are interval graphs (a subclass of the chordal graphs SSA
+//! guarantees) and the exact optimum is available at any scale via
+//! min-cost flow — this is the substitution for the paper's ILP.
+
+use lra_core::pipeline::{build_instance, InstanceKind};
+use lra_core::problem::Instance;
+use lra_ir::genprog::{random_jit_function, random_ssa_function, JitConfig, SsaConfig};
+use lra_targets::{Target, TargetKind};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One function-level allocation problem, tagged with its suite and
+/// program (benchmark application) names.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Suite identifier (`spec2000int`, `eembc`, …).
+    pub suite: &'static str,
+    /// Program (application/benchmark) this function belongs to.
+    pub program: &'static str,
+    /// Function name.
+    pub function: String,
+    /// The allocation instance the graph-based allocators solve.
+    pub instance: Instance,
+    /// Interval view for the linear-scan baselines (JVM suite only; the
+    /// SSA suites already use interval instances).
+    pub interval_instance: Option<Instance>,
+}
+
+impl Workload {
+    /// The instance the linear scans should run on.
+    pub fn linear_scan_instance(&self) -> &Instance {
+        self.interval_instance.as_ref().unwrap_or(&self.instance)
+    }
+}
+
+/// Names of the 12 SPEC CPU2000int applications.
+pub const SPEC2000INT_PROGRAMS: [&str; 12] = [
+    "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "eon", "perlbmk", "gap", "vortex", "bzip2",
+    "twolf",
+];
+
+/// Names of the 16 EEMBC kernels used.
+pub const EEMBC_PROGRAMS: [&str; 16] = [
+    "a2time", "aifftr", "aifirf", "aiifft", "basefp", "bitmnp", "cacheb", "canrdr", "idctrn",
+    "iirflt", "matrix", "pntrch", "puwmod", "rspeed", "tblook", "ttsprk",
+];
+
+/// Names of the 12 lao-kernels.
+pub const LAO_KERNELS_PROGRAMS: [&str; 12] = [
+    "autcor", "bitonic", "dbuffer", "divider", "fir", "floydall", "huffman", "latanal", "lmsfir",
+    "maxindex", "polysyn", "sads",
+];
+
+/// The 9 SPEC JVM98 benchmarks of Figure 15, in the paper's order.
+pub const SPECJVM98_PROGRAMS: [&str; 9] = [
+    "check", "compress", "jess", "raytrace", "db", "javac", "mpegaudio", "mtrt", "jack",
+];
+
+fn mix(seed: u64, salt: &str, k: u64) -> ChaCha8Rng {
+    // Cheap, stable string hash for per-program sub-seeds.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed;
+    for b in salt.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    ChaCha8Rng::seed_from_u64(h.wrapping_add(k.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+}
+
+/// SPEC CPU2000int on ST231: larger mixed functions with calls and
+/// moderate loop nesting.
+pub fn spec2000int(seed: u64) -> Vec<Workload> {
+    let target = Target::new(TargetKind::St231);
+    let mut out = Vec::new();
+    for program in SPEC2000INT_PROGRAMS {
+        for k in 0..5u64 {
+            let mut rng = mix(seed, program, k);
+            let cfg = SsaConfig {
+                target_instrs: rng.gen_range(140..=360),
+                max_loop_depth: 3,
+                branch_percent: 22,
+                loop_percent: 10,
+                call_percent: 7,
+                copy_percent: 0,
+                params: rng.gen_range(2..=6),
+                liveness_window: rng.gen_range(16..=40),
+            };
+            let f = random_ssa_function(&mut rng, &cfg, format!("{program}::f{k}"));
+            let instance = build_instance(&f, &target, InstanceKind::LinearIntervals);
+            out.push(Workload {
+                suite: "spec2000int",
+                program,
+                function: f.name,
+                instance,
+                interval_instance: None,
+            });
+        }
+    }
+    out
+}
+
+/// EEMBC on ST231: small, loop-dominated embedded kernels.
+pub fn eembc(seed: u64) -> Vec<Workload> {
+    let target = Target::new(TargetKind::St231);
+    let mut out = Vec::new();
+    for program in EEMBC_PROGRAMS {
+        for k in 0..3u64 {
+            let mut rng = mix(seed, program, k);
+            let cfg = SsaConfig {
+                target_instrs: rng.gen_range(60..=160),
+                max_loop_depth: 3,
+                branch_percent: 12,
+                loop_percent: 20,
+                call_percent: 2,
+                copy_percent: 0,
+                params: rng.gen_range(2..=4),
+                liveness_window: rng.gen_range(10..=26),
+            };
+            let f = random_ssa_function(&mut rng, &cfg, format!("{program}::k{k}"));
+            let instance = build_instance(&f, &target, InstanceKind::LinearIntervals);
+            out.push(Workload {
+                suite: "eembc",
+                program,
+                function: f.name,
+                instance,
+                interval_instance: None,
+            });
+        }
+    }
+    out
+}
+
+/// lao-kernels on ARMv7: very small kernels where a single bad
+/// allocation choice dominates the program cost.
+pub fn lao_kernels(seed: u64) -> Vec<Workload> {
+    let target = Target::new(TargetKind::ArmCortexA8);
+    let mut out = Vec::new();
+    for program in LAO_KERNELS_PROGRAMS {
+        for k in 0..2u64 {
+            let mut rng = mix(seed, program, k);
+            let cfg = SsaConfig {
+                target_instrs: rng.gen_range(35..=90),
+                max_loop_depth: 2,
+                branch_percent: 10,
+                loop_percent: 24,
+                call_percent: 1,
+                copy_percent: 0,
+                params: rng.gen_range(2..=4),
+                liveness_window: rng.gen_range(8..=20),
+            };
+            let f = random_ssa_function(&mut rng, &cfg, format!("{program}::k{k}"));
+            let instance = build_instance(&f, &target, InstanceKind::LinearIntervals);
+            out.push(Workload {
+                suite: "lao-kernels",
+                program,
+                function: f.name,
+                instance,
+                interval_instance: None,
+            });
+        }
+    }
+    out
+}
+
+/// The raw lao-kernels functions (same generator and seeds as
+/// [`lao_kernels`]) for studies that need to re-transform the IR, such
+/// as the live-range-splitting experiment.
+pub fn lao_kernel_functions(seed: u64) -> Vec<lra_ir::Function> {
+    let mut out = Vec::new();
+    for program in LAO_KERNELS_PROGRAMS {
+        for k in 0..2u64 {
+            let mut rng = mix(seed, program, k);
+            let cfg = SsaConfig {
+                target_instrs: rng.gen_range(35..=90),
+                max_loop_depth: 2,
+                branch_percent: 10,
+                loop_percent: 24,
+                call_percent: 1,
+                copy_percent: 0,
+                params: rng.gen_range(2..=4),
+                liveness_window: rng.gen_range(8..=20),
+            };
+            out.push(random_ssa_function(&mut rng, &cfg, format!("{program}::k{k}")));
+        }
+    }
+    out
+}
+
+/// The raw SPEC JVM98 methods (same generator and seeds as
+/// [`specjvm98`]) for studies that re-transform the IR, such as the
+/// SSA-conversion experiment.
+pub fn specjvm98_functions(seed: u64) -> Vec<lra_ir::Function> {
+    let mut out = Vec::new();
+    for program in SPECJVM98_PROGRAMS {
+        for k in 0..6u64 {
+            let mut rng = mix(seed, program, k);
+            let cfg = JitConfig {
+                vars: rng.gen_range(16..=30),
+                blocks: rng.gen_range(7..=14),
+                instrs_per_block: rng.gen_range(4..=8),
+                cross_percent: 35,
+                back_percent: 25,
+                call_percent: 8,
+            };
+            out.push(random_jit_function(&mut rng, &cfg, format!("{program}::m{k}")));
+        }
+    }
+    out
+}
+
+/// SPEC JVM98 through a JikesRVM-style non-SSA JIT: non-chordal precise
+/// graphs plus interval views for the linear scans.
+///
+/// Method sizes are kept JVM-typical (≲ 35 temporaries) so the exact
+/// branch-and-bound baseline terminates quickly.
+pub fn specjvm98(seed: u64) -> Vec<Workload> {
+    let target = Target::new(TargetKind::ArmCortexA8); // JITs target small register files
+    let mut out = Vec::new();
+    for program in SPECJVM98_PROGRAMS {
+        for k in 0..6u64 {
+            let mut rng = mix(seed, program, k);
+            let cfg = JitConfig {
+                vars: rng.gen_range(16..=30),
+                blocks: rng.gen_range(7..=14),
+                instrs_per_block: rng.gen_range(4..=8),
+                cross_percent: 35,
+                back_percent: 25,
+                call_percent: 8,
+            };
+            let f = random_jit_function(&mut rng, &cfg, format!("{program}::m{k}"));
+            let instance = build_instance(&f, &target, InstanceKind::PreciseGraph);
+            let interval_instance = build_instance(&f, &target, InstanceKind::LinearIntervals);
+            out.push(Workload {
+                suite: "specjvm98",
+                program,
+                function: f.name,
+                instance,
+                interval_instance: Some(interval_instance),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ssa_suites_are_chordal_with_intervals() {
+        for w in spec2000int(1).iter().take(6) {
+            assert!(w.instance.is_chordal());
+            assert!(w.instance.intervals().is_some());
+        }
+        for w in eembc(1).iter().take(6) {
+            assert!(w.instance.is_chordal());
+        }
+        for w in lao_kernels(1).iter().take(6) {
+            assert!(w.instance.is_chordal());
+        }
+    }
+
+    #[test]
+    fn suites_are_deterministic() {
+        let a = lao_kernels(7);
+        let b = lao_kernels(7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.function, y.function);
+            assert_eq!(
+                x.instance.weighted_graph().weights(),
+                y.instance.weighted_graph().weights()
+            );
+            assert_eq!(x.instance.graph().edge_count(), y.instance.graph().edge_count());
+        }
+    }
+
+    #[test]
+    fn suite_sizes_match_program_lists() {
+        assert_eq!(spec2000int(1).len(), 12 * 5);
+        assert_eq!(eembc(1).len(), 16 * 3);
+        assert_eq!(lao_kernels(1).len(), 12 * 2);
+        assert_eq!(specjvm98(1).len(), 9 * 6);
+    }
+
+    #[test]
+    fn spec_pressure_is_high_enough_to_spill() {
+        // The R-sweep only makes sense if functions actually overflow
+        // mid-range register counts.
+        let ws = spec2000int(1);
+        let max_pressure = ws.iter().map(|w| w.instance.max_live()).max().unwrap();
+        assert!(max_pressure > 16, "peak MaxLive {max_pressure} too low");
+        let mean: f64 = ws.iter().map(|w| w.instance.max_live() as f64).sum::<f64>()
+            / ws.len() as f64;
+        assert!(mean > 6.0, "mean MaxLive {mean:.1} too low");
+    }
+
+    #[test]
+    fn jvm_workloads_have_both_views() {
+        let ws = specjvm98(1);
+        let mut non_chordal = 0;
+        for w in &ws {
+            assert!(w.interval_instance.is_some());
+            assert!(w.linear_scan_instance().intervals().is_some());
+            if !w.instance.is_chordal() {
+                non_chordal += 1;
+            }
+        }
+        assert!(
+            non_chordal * 2 > ws.len(),
+            "most JVM graphs should be non-chordal ({non_chordal}/{})",
+            ws.len()
+        );
+    }
+}

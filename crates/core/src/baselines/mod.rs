@@ -1,0 +1,9 @@
+//! Baseline allocators the paper compares against: Chaitin–Briggs
+//! optimistic graph colouring (`GC`), the JIT-style linear scan (`LS` /
+//! `DLS`) and its Belady variant (`BLS`).
+
+pub mod chaitin;
+pub mod linear_scan;
+
+pub use chaitin::ChaitinBriggs;
+pub use linear_scan::{BeladyLinearScan, LinearScan};

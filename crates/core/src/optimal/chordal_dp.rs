@@ -1,0 +1,266 @@
+//! Exact allocation on chordal graphs by clique-tree dynamic programming.
+//!
+//! A subset `S` of a chordal graph's vertices induces an `R`-colourable
+//! subgraph iff every **maximal clique** contains at most `R` members of
+//! `S` (induced subgraphs of chordal graphs are chordal, and chordal
+//! graphs are perfect). The clique tree is a tree decomposition whose
+//! bags are the maximal cliques, so the maximum-weight such `S` is
+//! computable by the standard tree-decomposition DP: for each bag,
+//! enumerate the kept subsets (popcount ≤ R) and combine children
+//! through their separators.
+//!
+//! The DP is exponential only in the largest clique (= MaxLive), which
+//! is exactly the pseudo-polynomial structure the paper exploits. Bags
+//! beyond [`MAX_BAG`] make the table too large; [`solve`] then returns
+//! `None` and the caller falls back to branch-and-bound.
+
+use crate::problem::{Allocation, Instance};
+use lra_graph::{cliques::CliqueTree, BitSet, Cost};
+use std::collections::HashMap;
+
+/// Largest bag size the DP will attempt (2^24 masks ≈ 16M per bag).
+pub const MAX_BAG: usize = 22;
+
+/// Solves a chordal instance exactly, or returns `None` when a maximal
+/// clique exceeds [`MAX_BAG`] vertices.
+///
+/// # Panics
+///
+/// Panics if the instance is not chordal.
+pub fn solve(instance: &Instance, r: u32) -> Option<Allocation> {
+    let order = instance.peo().expect("chordal DP requires a chordal instance");
+    let g = instance.graph();
+    let wg = instance.weighted_graph();
+    let n = g.vertex_count();
+    let tree = CliqueTree::build(g, order);
+    if tree.max_bag_size() > MAX_BAG {
+        return None;
+    }
+
+    // Shortcut: R ≥ MaxLive means everything fits.
+    if r as usize >= tree.max_bag_size() {
+        return Some(instance.allocation_from_set(BitSet::full(n)));
+    }
+
+    let k = tree.bag_count();
+    // Per-bag data in topological order; children processed first.
+    // table[b]: separator-subset key -> (best value, best full-bag mask)
+    let mut table: Vec<HashMap<u32, (Cost, u32)>> = vec![HashMap::new(); k];
+
+    // Precompute per-bag vertex lists and separator positions.
+    let bag_vs: Vec<Vec<usize>> = tree
+        .bags
+        .iter()
+        .map(|bag| bag.iter().map(|v| v.index()).collect())
+        .collect();
+    let sep_list: Vec<Vec<usize>> = (0..k)
+        .map(|b| tree.separator(b).iter().collect())
+        .collect();
+
+    // For projecting a bag mask onto an ordered vertex list.
+    let project = |mask: u32, vs: &[usize], targets: &[usize]| -> u32 {
+        let mut key = 0u32;
+        for (i, &t) in targets.iter().enumerate() {
+            let pos = vs.iter().position(|&v| v == t).expect("target in bag");
+            if mask & (1 << pos) != 0 {
+                key |= 1 << i;
+            }
+        }
+        key
+    };
+
+    for &b in tree.topo.iter().rev() {
+        let vs = &bag_vs[b];
+        let sep = &sep_list[b];
+        let kb = vs.len();
+        let in_sep: Vec<bool> = vs.iter().map(|v| sep.contains(v)).collect();
+        let children = &tree.children[b];
+
+        // Cache child projections: for each child, positions of its
+        // separator vertices within our bag.
+        let child_seps: Vec<&Vec<usize>> = children.iter().map(|&c| &sep_list[c]).collect();
+
+        let mut best: HashMap<u32, (Cost, u32)> = HashMap::new();
+        for mask in 0u32..(1 << kb) {
+            if (mask.count_ones()) > r {
+                continue;
+            }
+            // Weight of kept vertices owned by this bag (not shared with
+            // the parent — those are counted higher up).
+            let mut value: Cost = 0;
+            for (i, &v) in vs.iter().enumerate() {
+                if mask & (1 << i) != 0 && !in_sep[i] {
+                    value += wg.weight(v);
+                }
+            }
+            // Children contributions through their separators.
+            let mut feasible = true;
+            for (ci, &c) in children.iter().enumerate() {
+                let key = project(mask, vs, child_seps[ci]);
+                match table[c].get(&key) {
+                    Some(&(val, _)) => value += val,
+                    None => {
+                        feasible = false;
+                        break;
+                    }
+                }
+            }
+            if !feasible {
+                continue;
+            }
+            let parent_key = project(mask, vs, sep);
+            match best.entry(parent_key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((value, mask));
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    if value > e.get().0 {
+                        e.insert((value, mask));
+                    }
+                }
+            }
+        }
+        table[b] = best;
+    }
+
+    // Reconstruct top-down.
+    let mut allocated = BitSet::new(n);
+    let mut stack: Vec<(usize, u32)> = tree
+        .topo
+        .iter()
+        .filter(|&&b| tree.parent[b].is_none())
+        .map(|&b| (b, 0u32))
+        .collect();
+    while let Some((b, key)) = stack.pop() {
+        let &(_, mask) = table[b]
+            .get(&key)
+            .expect("every separator subset with ≤ R kept is realisable");
+        let vs = &bag_vs[b];
+        for (i, &v) in vs.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                allocated.insert(v);
+            }
+        }
+        for &c in &tree.children[b] {
+            let key_c = project(mask, vs, &sep_list[c]);
+            stack.push((c, key_c));
+        }
+    }
+
+    Some(instance.allocation_from_set(allocated))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use lra_graph::{generate, Graph, GraphBuilder, WeightedGraph};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn instance(g: Graph, w: Vec<Cost>) -> Instance {
+        Instance::from_weighted_graph(WeightedGraph::new(g, w))
+    }
+
+    #[test]
+    fn clique_keeps_r_heaviest() {
+        let mut b = GraphBuilder::new(5);
+        b.add_clique(&[0, 1, 2, 3, 4]);
+        let inst = instance(b.build(), vec![5, 9, 2, 7, 4]);
+        let a = solve(&inst, 2).unwrap();
+        // Keep 9 and 7; spill 5+2+4 = 11.
+        assert_eq!(a.spill_cost, 11);
+        assert!(a.allocated.contains(1) && a.allocated.contains(3));
+        assert!(verify::check(&inst, &a, 2).is_feasible());
+    }
+
+    #[test]
+    fn r_one_equals_max_weight_stable_set() {
+        use lra_graph::stable;
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..10 {
+            let g = generate::random_chordal(&mut rng, 18, 24, 4);
+            let w = generate::random_weights(&mut rng, 18, 2);
+            let inst = instance(g, w);
+            let a = solve(&inst, 1).unwrap();
+            let brute = stable::max_weight_stable_set_brute(inst.weighted_graph(), None);
+            assert_eq!(a.allocated_weight, brute.weight);
+            assert!(verify::check(&inst, &a, 1).is_feasible());
+        }
+    }
+
+    #[test]
+    fn r_at_maxlive_allocates_everything() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let g = generate::random_chordal(&mut rng, 25, 30, 5);
+        let inst = instance(g, vec![3; 25]);
+        let ml = inst.max_live() as u32;
+        let a = solve(&inst, ml).unwrap();
+        assert_eq!(a.spill_cost, 0);
+    }
+
+    #[test]
+    fn disconnected_components_solved_independently() {
+        // Two triangles; R=2 spills the cheapest vertex of each.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        let inst = instance(g, vec![5, 1, 4, 2, 6, 3]);
+        let a = solve(&inst, 2).unwrap();
+        assert_eq!(a.spill_cost, 1 + 2);
+        assert!(!a.allocated.contains(1));
+        assert!(!a.allocated.contains(3));
+    }
+
+    #[test]
+    fn matches_brute_force_over_rs() {
+        // Exhaustive reference: enumerate all subsets, keep the feasible
+        // maximum.
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for trial in 0..6 {
+            let g = generate::random_chordal(&mut rng, 12, 16, 4);
+            let w = generate::random_weights(&mut rng, 12, 2);
+            let inst = instance(g.clone(), w.clone());
+            for r in 1..=4u32 {
+                let a = solve(&inst, r).unwrap();
+                let best = brute_force(&inst, r);
+                assert_eq!(
+                    a.allocated_weight, best,
+                    "trial {trial}, R={r}: DP {} vs brute {best}",
+                    a.allocated_weight
+                );
+                assert!(verify::check(&inst, &a, r).is_feasible());
+            }
+        }
+    }
+
+    /// Exhaustive max-weight R-colourable subset for tiny graphs.
+    fn brute_force(inst: &Instance, r: u32) -> Cost {
+        let n = inst.vertex_count();
+        assert!(n <= 20);
+        let mut best = 0;
+        for mask in 0u32..(1 << n) {
+            let set = BitSet::from_iter_with_capacity(
+                n,
+                (0..n).filter(|&v| mask & (1 << v) != 0),
+            );
+            // Feasibility on chordal graphs: every maximal clique ≤ r.
+            let ok = inst
+                .maximal_cliques()
+                .unwrap()
+                .iter()
+                .all(|c| c.iter().filter(|v| set.contains(v.index())).count() <= r as usize);
+            if ok {
+                best = best.max(inst.weighted_graph().weight_of_set(&set));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn oversized_bags_return_none() {
+        let mut b = GraphBuilder::new(MAX_BAG + 2);
+        let all: Vec<usize> = (0..MAX_BAG + 2).collect();
+        b.add_clique(&all);
+        let inst = instance(b.build(), vec![1; MAX_BAG + 2]);
+        assert!(solve(&inst, 2).is_none());
+    }
+}

@@ -1,0 +1,132 @@
+//! Exact (optimal) spill-everywhere solvers.
+//!
+//! The paper's `Optimal` baseline is an ILP solved by a commercial
+//! solver. This reproduction replaces it with three certified-exact
+//! combinatorial solvers, dispatched on instance structure:
+//!
+//! * interval instances → [`flow`]: minimum-cost flow over interval
+//!   endpoints (Carlisle–Lloyd / Arkin–Silverberg), polynomial for any
+//!   `R` and instance size;
+//! * chordal instances → [`chordal_dp`]: dynamic programming over the
+//!   clique tree, exponential only in the largest clique;
+//! * general instances → [`branch_bound`]: branch-and-bound over
+//!   colour assignments with symmetry breaking, for the JVM-sized
+//!   graphs of §6.2.
+
+pub mod branch_bound;
+pub mod chordal_dp;
+pub mod flow;
+
+use crate::problem::{Allocation, Allocator, Instance};
+
+/// The exact allocator, dispatching on instance structure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Optimal {
+    /// Node budget for the branch-and-bound fallback; exceeded budgets
+    /// panic (the evaluation sizes instances so this never triggers).
+    pub node_limit: u64,
+}
+
+impl Optimal {
+    /// Default configuration (one hundred million search nodes).
+    pub fn new() -> Self {
+        Optimal {
+            node_limit: 100_000_000,
+        }
+    }
+}
+
+impl Default for Optimal {
+    fn default() -> Self {
+        Optimal::new()
+    }
+}
+
+impl Allocator for Optimal {
+    fn name(&self) -> &'static str {
+        "Optimal"
+    }
+
+    /// Computes a certified optimal allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance is non-chordal *and* the branch-and-bound
+    /// search exceeds `node_limit` (meaning the instance is too large
+    /// for exact solving), or if a chordal instance without intervals
+    /// has cliques too large for the DP and the fallback also exceeds
+    /// the limit.
+    fn allocate(&self, instance: &Instance, r: u32) -> Allocation {
+        if instance.intervals().is_some() {
+            return flow::solve(instance, r);
+        }
+        if instance.is_chordal() {
+            if let Some(a) = chordal_dp::solve(instance, r) {
+                return a;
+            }
+        }
+        match branch_bound::solve(instance, r, self.node_limit) {
+            Some(a) => a,
+            None => panic!(
+                "Optimal: branch-and-bound exceeded {} nodes on a {}-vertex instance",
+                self.node_limit,
+                instance.vertex_count()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lra_graph::{Graph, Interval, WeightedGraph};
+
+    #[test]
+    fn dispatch_interval_instance() {
+        let inst = Instance::from_intervals(
+            vec![Interval::new(0, 4), Interval::new(1, 5), Interval::new(2, 6)],
+            vec![3, 5, 4],
+        );
+        let a = Optimal::new().allocate(&inst, 2);
+        // Three mutually overlapping intervals, two registers: spill the
+        // cheapest (3).
+        assert_eq!(a.spill_cost, 3);
+    }
+
+    #[test]
+    fn dispatch_chordal_graph_instance() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let inst = Instance::from_weighted_graph(WeightedGraph::new(g, vec![3, 5, 4]));
+        let a = Optimal::new().allocate(&inst, 2);
+        assert_eq!(a.spill_cost, 3);
+    }
+
+    #[test]
+    fn dispatch_general_graph_instance() {
+        let c5 = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let inst = Instance::from_weighted_graph(WeightedGraph::new(c5, vec![1, 1, 1, 1, 1]));
+        // C5 with 2 registers: at most 4 vertices allocatable (C5 is
+        // 3-chromatic), so the optimum spills exactly one unit.
+        let a = Optimal::new().allocate(&inst, 2);
+        assert_eq!(a.spill_cost, 1);
+    }
+
+    #[test]
+    fn figure2_spill_set_inclusion_counterexample() {
+        // In the spirit of Figure 2 of the paper (the report's figure
+        // labels are ambiguous, so the weights are chosen to make both
+        // optima unique): triangle {b, c, d} with pendants a–b and d–e,
+        // weights a=3, b=2, c=1, d=2, e=3. Optimal with R=1 allocates
+        // the stable set {a, c, e} (spills {b, d}); with R=2 it spills
+        // only {c}: the R=2 spill set is NOT included in the R=1 one.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (1, 3), (3, 4)]);
+        let inst = Instance::from_weighted_graph(WeightedGraph::new(g, vec![3, 2, 1, 2, 3]));
+        let r1 = Optimal::new().allocate(&inst, 1);
+        let r2 = Optimal::new().allocate(&inst, 2);
+        let s1 = r1.spilled_set(&inst);
+        let s2 = r2.spilled_set(&inst);
+        assert_eq!(s1.iter().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(s2.iter().collect::<Vec<_>>(), vec![2]);
+        assert!(!s2.is_subset(&s1), "inclusion fails, as the paper shows");
+    }
+}

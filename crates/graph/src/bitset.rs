@@ -1,0 +1,309 @@
+//! A fixed-capacity bit set used throughout the allocator for vertex sets.
+//!
+//! The allocators manipulate many vertex subsets (layers, cliques, live
+//! sets). A flat `Vec<u64>` bit set gives O(n/64) unions/intersections and
+//! compact storage, which matters for the subset-containment tests in
+//! maximal-clique enumeration.
+
+/// A fixed-capacity set of `usize` keys backed by a `Vec<u64>`.
+///
+/// The capacity is fixed at construction; inserting a key `>= capacity`
+/// panics. All binary operations require equally sized operands.
+///
+/// # Examples
+///
+/// ```
+/// use lra_graph::BitSet;
+///
+/// let mut s = BitSet::new(100);
+/// s.insert(3);
+/// s.insert(64);
+/// assert!(s.contains(3));
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 64]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold keys in `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Creates a set containing every key in `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = BitSet::new(capacity);
+        for w in &mut s.words {
+            *w = !0;
+        }
+        s.trim();
+        s
+    }
+
+    /// Creates a set from an iterator of keys.
+    pub fn from_iter_with_capacity(capacity: usize, keys: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = BitSet::new(capacity);
+        for k in keys {
+            s.insert(k);
+        }
+        s
+    }
+
+    fn trim(&mut self) {
+        let extra = self.words.len() * 64 - self.capacity;
+        if extra > 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= !0 >> extra;
+            }
+        }
+    }
+
+    /// The number of keys this set can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `key`, returning `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key >= capacity`.
+    pub fn insert(&mut self, key: usize) -> bool {
+        assert!(key < self.capacity, "key {key} out of capacity {}", self.capacity);
+        let (w, b) = (key / 64, key % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Removes `key`, returning `true` if it was present.
+    pub fn remove(&mut self, key: usize) -> bool {
+        if key >= self.capacity {
+            return false;
+        }
+        let (w, b) = (key / 64, key % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        was
+    }
+
+    /// Returns `true` if `key` is in the set.
+    pub fn contains(&self, key: usize) -> bool {
+        if key >= self.capacity {
+            return false;
+        }
+        self.words[key / 64] & (1 << (key % 64)) != 0
+    }
+
+    /// The number of keys currently in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the set contains no keys.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes every key.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Returns `true` if `self` and `other` share no key.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Returns `true` if every key of `self` is also in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// In-place union with `other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection with `other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference: removes every key of `other` from `self`.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// The number of keys present in both `self` and `other`.
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over the keys in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set whose capacity is one past the largest key.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let keys: Vec<usize> = iter.into_iter().collect();
+        let cap = keys.iter().max().map_or(0, |&m| m + 1);
+        BitSet::from_iter_with_capacity(cap, keys)
+    }
+}
+
+impl Extend<usize> for BitSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for k in iter {
+            self.insert(k);
+        }
+    }
+}
+
+/// Iterator over the keys of a [`BitSet`] in increasing order.
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(0));
+        assert!(s.contains(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert!(!s.contains(0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn full_respects_capacity() {
+        let s = BitSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(69));
+        assert!(!s.contains(70));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitSet::from_iter_with_capacity(100, [1, 5, 64, 99]);
+        let b = BitSet::from_iter_with_capacity(100, [5, 64]);
+        assert!(b.is_subset(&a));
+        assert!(!a.is_subset(&b));
+        assert_eq!(a.intersection_len(&b), 2);
+
+        let mut c = a.clone();
+        c.difference_with(&b);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![1, 99]);
+        assert!(c.is_disjoint(&b));
+
+        let mut d = c.clone();
+        d.union_with(&b);
+        assert_eq!(d, a);
+
+        let mut e = a.clone();
+        e.intersect_with(&b);
+        assert_eq!(e, b);
+    }
+
+    #[test]
+    fn iter_crosses_word_boundaries() {
+        let keys = [0, 63, 64, 127, 128];
+        let s = BitSet::from_iter_with_capacity(200, keys);
+        assert_eq!(s.iter().collect::<Vec<_>>(), keys.to_vec());
+    }
+
+    #[test]
+    fn empty_and_clear() {
+        let mut s = BitSet::new(10);
+        assert!(s.is_empty());
+        s.insert(3);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_capacity_panics() {
+        let mut s = BitSet::new(4);
+        s.insert(4);
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        let s = BitSet::new(4);
+        assert_eq!(format!("{s:?}"), "{}");
+    }
+}

@@ -1,0 +1,424 @@
+//! Maximal cliques and clique trees of chordal graphs.
+//!
+//! Under SSA there is a perfect correspondence between the maximal
+//! cliques of the interference graph and the sets of variables
+//! simultaneously live at some program point (Hack et al.). The paper's
+//! fixed-point improvement (Algorithm 4) tracks, for each maximal clique,
+//! how many of its members are already allocated; the exact solver runs a
+//! dynamic program over the **clique tree**.
+//!
+//! For a chordal graph with PEO `σ`, every maximal clique has the form
+//! `C(v) = {v} ∪ RN(v)` where `RN(v)` are the neighbours of `v`
+//! eliminated after `v` (Fulkerson & Gross). `C(v)` fails to be maximal
+//! exactly when it is contained in `C(u)` for some *earlier* neighbour
+//! `u` of `v`, which we test with bit-set containment.
+//!
+//! A **clique tree** is a maximum-weight spanning tree of the clique
+//! intersection graph (weights = intersection sizes); it satisfies the
+//! junction-tree property and serves as a tree decomposition.
+
+use crate::bitset::BitSet;
+use crate::graph::{Graph, Vertex};
+use crate::peo;
+
+/// Enumerates the maximal cliques of a chordal graph.
+///
+/// `order` must be a perfect elimination order of `g`. Returns each
+/// clique as a sorted vector of vertices; a chordal graph on `n` vertices
+/// has at most `n` maximal cliques.
+///
+/// # Examples
+///
+/// ```
+/// use lra_graph::{Graph, maximal_cliques, peo};
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+/// let order = peo::perfect_elimination_order(&g).unwrap();
+/// let mut cliques = maximal_cliques(&g, &order);
+/// cliques.sort();
+/// assert_eq!(cliques.len(), 2); // {0,1,2} and {2,3}
+/// ```
+pub fn maximal_cliques(g: &Graph, order: &[Vertex]) -> Vec<Vec<Vertex>> {
+    let n = g.vertex_count();
+    debug_assert!(peo::is_perfect_elimination_order(g, order));
+    let mut pos = vec![0usize; n];
+    for (i, v) in order.iter().enumerate() {
+        pos[v.index()] = i;
+    }
+
+    // Candidate clique of v: {v} ∪ later neighbours, as a bit set.
+    let candidate = |v: usize| -> BitSet {
+        let mut c = BitSet::new(n);
+        c.insert(v);
+        for &u in g.neighbor_indices(v) {
+            let u = u as usize;
+            if pos[u] > pos[v] {
+                c.insert(u);
+            }
+        }
+        c
+    };
+
+    let candidates: Vec<BitSet> = (0..n).map(candidate).collect();
+    let mut cliques = Vec::new();
+    for &v in order {
+        let v = v.index();
+        let cv = &candidates[v];
+        // C(v) is maximal iff no earlier neighbour u has C(u) ⊇ C(v).
+        let dominated = g
+            .neighbor_indices(v)
+            .iter()
+            .map(|&u| u as usize)
+            .filter(|&u| pos[u] < pos[v])
+            .any(|u| cv.is_subset(&candidates[u]));
+        if !dominated {
+            let mut members: Vec<Vertex> = cv.iter().map(Vertex::new).collect();
+            members.sort();
+            cliques.push(members);
+        }
+    }
+    cliques
+}
+
+/// The size of the largest clique of a chordal graph (its chromatic
+/// number, and the MaxLive of the corresponding SSA program).
+pub fn max_clique_size(g: &Graph, order: &[Vertex]) -> usize {
+    let n = g.vertex_count();
+    let mut pos = vec![0usize; n];
+    for (i, v) in order.iter().enumerate() {
+        pos[v.index()] = i;
+    }
+    (0..n)
+        .map(|v| {
+            1 + g
+                .neighbor_indices(v)
+                .iter()
+                .filter(|&&u| pos[u as usize] > pos[v])
+                .count()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// A clique tree (junction tree) of a chordal graph.
+///
+/// Bags are the maximal cliques; for every vertex `v` the bags containing
+/// `v` form a connected subtree. Disconnected graphs yield a forest:
+/// every root has `parent == None`.
+#[derive(Clone, Debug)]
+pub struct CliqueTree {
+    /// The maximal cliques, each sorted by vertex index.
+    pub bags: Vec<Vec<Vertex>>,
+    /// Bag membership as bit sets, parallel to `bags`.
+    pub bag_sets: Vec<BitSet>,
+    /// Parent bag index, `None` for roots.
+    pub parent: Vec<Option<usize>>,
+    /// Children lists, parallel to `bags`.
+    pub children: Vec<Vec<usize>>,
+    /// Bag indices in a topological order (parents before children).
+    pub topo: Vec<usize>,
+}
+
+impl CliqueTree {
+    /// Builds a clique tree of the chordal graph `g` with PEO `order`.
+    ///
+    /// Uses a maximum-weight spanning forest of the clique intersection
+    /// graph (weight = |Ki ∩ Kj|), which is a classical characterisation
+    /// of clique trees.
+    pub fn build(g: &Graph, order: &[Vertex]) -> Self {
+        let n = g.vertex_count();
+        let bags = maximal_cliques(g, order);
+        let k = bags.len();
+        let bag_sets: Vec<BitSet> = bags
+            .iter()
+            .map(|bag| BitSet::from_iter_with_capacity(n, bag.iter().map(|v| v.index())))
+            .collect();
+
+        // Candidate edges: bags sharing at least one vertex. Enumerate
+        // via per-vertex bag lists to avoid the full quadratic scan.
+        let mut bags_of_vertex: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, bag) in bags.iter().enumerate() {
+            for v in bag {
+                bags_of_vertex[v.index()].push(i);
+            }
+        }
+        let mut edges: Vec<(usize, usize, usize)> = Vec::new(); // (weight, i, j)
+        let mut seen = std::collections::HashSet::new();
+        for list in &bags_of_vertex {
+            for (a, &i) in list.iter().enumerate() {
+                for &j in &list[a + 1..] {
+                    let key = (i.min(j), i.max(j));
+                    if seen.insert(key) {
+                        let w = bag_sets[i].intersection_len(&bag_sets[j]);
+                        edges.push((w, key.0, key.1));
+                    }
+                }
+            }
+        }
+        edges.sort_by_key(|&(w, _, _)| std::cmp::Reverse(w));
+
+        // Kruskal maximum spanning forest.
+        let mut dsu: Vec<usize> = (0..k).collect();
+        fn find(dsu: &mut Vec<usize>, x: usize) -> usize {
+            if dsu[x] != x {
+                let r = find(dsu, dsu[x]);
+                dsu[x] = r;
+            }
+            dsu[x]
+        }
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (_, i, j) in edges {
+            let (ri, rj) = (find(&mut dsu, i), find(&mut dsu, j));
+            if ri != rj {
+                dsu[ri] = rj;
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+
+        // Root each component and derive parent/children/topo.
+        let mut parent = vec![None; k];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); k];
+        let mut topo = Vec::with_capacity(k);
+        let mut visited = vec![false; k];
+        for root in 0..k {
+            if visited[root] {
+                continue;
+            }
+            let mut stack = vec![root];
+            visited[root] = true;
+            while let Some(b) = stack.pop() {
+                topo.push(b);
+                for &c in &adj[b] {
+                    if !visited[c] {
+                        visited[c] = true;
+                        parent[c] = Some(b);
+                        children[b].push(c);
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+
+        CliqueTree {
+            bags,
+            bag_sets,
+            parent,
+            children,
+            topo,
+        }
+    }
+
+    /// The number of bags (maximal cliques).
+    pub fn bag_count(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// The size of the largest bag.
+    pub fn max_bag_size(&self) -> usize {
+        self.bags.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The separator of bag `b`: its intersection with its parent bag
+    /// (empty for roots).
+    pub fn separator(&self, b: usize) -> BitSet {
+        match self.parent[b] {
+            Some(p) => {
+                let mut s = self.bag_sets[b].clone();
+                s.intersect_with(&self.bag_sets[p]);
+                s
+            }
+            None => BitSet::new(self.bag_sets[b].capacity()),
+        }
+    }
+
+    /// Checks the junction-tree property: for every vertex, the bags
+    /// containing it form a connected subtree. Used by tests.
+    pub fn junction_property_holds(&self) -> bool {
+        let n = self.bag_sets.first().map_or(0, BitSet::capacity);
+        'vertex: for v in 0..n {
+            let holding: Vec<usize> = (0..self.bags.len())
+                .filter(|&b| self.bag_sets[b].contains(v))
+                .collect();
+            if holding.len() <= 1 {
+                continue;
+            }
+            // BFS within holding bags via tree edges.
+            let hold: std::collections::HashSet<usize> = holding.iter().copied().collect();
+            let mut reached = std::collections::HashSet::new();
+            let mut stack = vec![holding[0]];
+            reached.insert(holding[0]);
+            while let Some(b) = stack.pop() {
+                let mut nbrs: Vec<usize> = self.children[b].clone();
+                if let Some(p) = self.parent[b] {
+                    nbrs.push(p);
+                }
+                for c in nbrs {
+                    if hold.contains(&c) && reached.insert(c) {
+                        stack.push(c);
+                    }
+                }
+            }
+            if reached.len() != holding.len() {
+                return false;
+            }
+            continue 'vertex;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn figure4() -> Graph {
+        let mut b = GraphBuilder::new(7);
+        for &(u, v) in &[
+            (0, 3),
+            (0, 5),
+            (3, 5),
+            (3, 4),
+            (4, 5),
+            (2, 3),
+            (2, 4),
+            (1, 2),
+            (1, 6),
+            (2, 6),
+        ] {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    fn cliques_of(g: &Graph) -> Vec<Vec<usize>> {
+        let order = peo::perfect_elimination_order(g).unwrap();
+        let mut cs: Vec<Vec<usize>> = maximal_cliques(g, &order)
+            .into_iter()
+            .map(|c| c.into_iter().map(|v| v.index()).collect())
+            .collect();
+        cs.sort();
+        cs
+    }
+
+    #[test]
+    fn figure4_maximal_cliques() {
+        // a=0,b=1,c=2,d=3,e=4,f=5,g=6. Maximal cliques:
+        // {a,d,f}, {b,c,g}, {c,d,e}, {d,e,f}.
+        let cs = cliques_of(&figure4());
+        assert_eq!(
+            cs,
+            vec![vec![0, 3, 5], vec![1, 2, 6], vec![2, 3, 4], vec![3, 4, 5]]
+        );
+    }
+
+    #[test]
+    fn cliques_are_cliques_and_maximal() {
+        let g = figure4();
+        let cs = cliques_of(&g);
+        for c in &cs {
+            assert!(g.is_clique(c));
+            // Maximality: no vertex outside c is adjacent to all of c.
+            for v in 0..g.vertex_count() {
+                if !c.contains(&v) {
+                    assert!(
+                        !c.iter().all(|&u| g.has_edge(u, v)),
+                        "clique {c:?} not maximal: can add {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure7_maximal_cliques() {
+        // Figure 7(a): a=0,b=1,c=2,d=3,e=4,f=5 with cliques
+        // {a,d,f}, {b,c,e}, {c,d,e}, {d,e,f} (as stated in the paper).
+        let mut b = GraphBuilder::new(6);
+        for &(u, v) in &[
+            (0, 3),
+            (0, 5),
+            (3, 5),
+            (3, 4),
+            (3, 2),
+            (2, 4),
+            (4, 5),
+            (2, 1),
+            (1, 4),
+        ] {
+            b.add_edge(u, v);
+        }
+        let cs = cliques_of(&b.build());
+        assert_eq!(
+            cs,
+            vec![vec![0, 3, 5], vec![1, 2, 4], vec![2, 3, 4], vec![3, 4, 5]]
+        );
+    }
+
+    #[test]
+    fn clique_on_clique_graph() {
+        let mut b = GraphBuilder::new(4);
+        b.add_clique(&[0, 1, 2, 3]);
+        let g = b.build();
+        let cs = cliques_of(&g);
+        assert_eq!(cs, vec![vec![0, 1, 2, 3]]);
+        let order = peo::perfect_elimination_order(&g).unwrap();
+        assert_eq!(max_clique_size(&g, &order), 4);
+    }
+
+    #[test]
+    fn edgeless_graph_cliques_are_singletons() {
+        let g = Graph::empty(3);
+        let cs = cliques_of(&g);
+        assert_eq!(cs, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn max_clique_size_of_figure4() {
+        let g = figure4();
+        let order = peo::perfect_elimination_order(&g).unwrap();
+        assert_eq!(max_clique_size(&g, &order), 3);
+    }
+
+    #[test]
+    fn clique_tree_junction_property() {
+        let g = figure4();
+        let order = peo::perfect_elimination_order(&g).unwrap();
+        let t = CliqueTree::build(&g, &order);
+        assert_eq!(t.bag_count(), 4);
+        assert!(t.junction_property_holds());
+        assert_eq!(t.max_bag_size(), 3);
+        // Exactly one root in a connected graph.
+        assert_eq!(t.parent.iter().filter(|p| p.is_none()).count(), 1);
+        // Topo order starts at a root and lists every bag once.
+        assert_eq!(t.topo.len(), 4);
+        assert!(t.parent[t.topo[0]].is_none());
+    }
+
+    #[test]
+    fn clique_forest_on_disconnected_graph() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        let order = peo::perfect_elimination_order(&g).unwrap();
+        let t = CliqueTree::build(&g, &order);
+        assert_eq!(t.bag_count(), 2);
+        assert_eq!(t.parent.iter().filter(|p| p.is_none()).count(), 2);
+        assert!(t.junction_property_holds());
+    }
+
+    #[test]
+    fn separators_are_bag_intersections() {
+        let g = figure4();
+        let order = peo::perfect_elimination_order(&g).unwrap();
+        let t = CliqueTree::build(&g, &order);
+        for b in 0..t.bag_count() {
+            let sep = t.separator(b);
+            if let Some(p) = t.parent[b] {
+                assert!(sep.is_subset(&t.bag_sets[b]));
+                assert!(sep.is_subset(&t.bag_sets[p]));
+            } else {
+                assert!(sep.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Graphviz (DOT) export for debugging and documentation figures.
+
+use crate::bitset::BitSet;
+use crate::weights::WeightedGraph;
+use std::fmt::Write as _;
+
+/// Renders `wg` in Graphviz DOT syntax.
+///
+/// Vertices are labelled `name (weight)`. Vertices in `highlight` (the
+/// allocated set, say) are drawn dashed, matching the figures of the
+/// paper where dashed nodes are the selected stable set.
+///
+/// `names` may be empty, in which case vertices are labelled `v0, v1, …`.
+///
+/// # Examples
+///
+/// ```
+/// use lra_graph::{Graph, WeightedGraph, dot};
+/// let wg = WeightedGraph::new(Graph::from_edges(2, &[(0, 1)]), vec![1, 2]);
+/// let s = dot::to_dot(&wg, &[], None);
+/// assert!(s.contains("graph"));
+/// assert!(s.contains("v0 -- v1"));
+/// ```
+pub fn to_dot(wg: &WeightedGraph, names: &[&str], highlight: Option<&BitSet>) -> String {
+    let g = wg.graph();
+    let mut out = String::from("graph interference {\n  node [shape=circle];\n");
+    for v in 0..g.vertex_count() {
+        let name = names.get(v).copied().unwrap_or("");
+        let label = if name.is_empty() {
+            format!("v{v} ({})", wg.weight(v))
+        } else {
+            format!("{name} ({})", wg.weight(v))
+        };
+        let style = if highlight.is_some_and(|h| h.contains(v)) {
+            ", style=dashed"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  v{v} [label=\"{label}\"{style}];");
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "  v{} -- v{};", u.index(), v.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn renders_nodes_edges_and_highlight() {
+        let wg = WeightedGraph::new(Graph::from_edges(3, &[(0, 1), (1, 2)]), vec![5, 1, 2]);
+        let hl = BitSet::from_iter_with_capacity(3, [0]);
+        let s = to_dot(&wg, &["a", "b", "c"], Some(&hl));
+        assert!(s.contains("a (5)"));
+        assert!(s.contains("style=dashed"));
+        assert!(s.contains("v0 -- v1"));
+        assert!(s.contains("v1 -- v2"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn falls_back_to_index_names() {
+        let wg = WeightedGraph::new(Graph::empty(1), vec![7]);
+        let s = to_dot(&wg, &[], None);
+        assert!(s.contains("v0 (7)"));
+    }
+}

@@ -1,0 +1,358 @@
+//! Undirected graphs with compact adjacency storage.
+//!
+//! Interference graphs are simple undirected graphs. We store sorted
+//! adjacency vectors (for cache-friendly iteration and O(log d) edge
+//! queries) plus per-vertex adjacency bit rows (for O(1) edge queries and
+//! O(n/64) neighbourhood algebra, used heavily by clique enumeration and
+//! the allocation verifier).
+
+use crate::bitset::BitSet;
+
+/// An index identifying a vertex (a variable) of a [`Graph`].
+///
+/// `Vertex` is a newtype over `u32`; use [`Vertex::index`] to index into
+/// side tables.
+///
+/// # Examples
+///
+/// ```
+/// use lra_graph::Vertex;
+/// let v = Vertex::new(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Vertex(u32);
+
+impl Vertex {
+    /// Creates a vertex from its index.
+    pub fn new(index: usize) -> Self {
+        Vertex(u32::try_from(index).expect("vertex index fits in u32"))
+    }
+
+    /// The index of this vertex, usable into side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for Vertex {
+    fn from(index: usize) -> Self {
+        Vertex::new(index)
+    }
+}
+
+impl From<Vertex> for usize {
+    fn from(v: Vertex) -> usize {
+        v.index()
+    }
+}
+
+impl std::fmt::Debug for Vertex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl std::fmt::Display for Vertex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Incrementally builds a [`Graph`] from edges.
+///
+/// Duplicate edges and self-loops are ignored, so callers can add
+/// interferences without deduplicating first.
+///
+/// # Examples
+///
+/// ```
+/// use lra_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 0); // duplicate, ignored
+/// b.add_edge(2, 2); // self-loop, ignored
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    rows: Vec<BitSet>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            rows: vec![BitSet::new(n); n],
+        }
+    }
+
+    /// Adds the undirected edge `(u, v)`. Self-loops and duplicates are
+    /// silently ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> &mut Self {
+        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range for {} vertices", self.n);
+        if u != v {
+            self.rows[u].insert(v);
+            self.rows[v].insert(u);
+        }
+        self
+    }
+
+    /// Returns `true` if the edge `(u, v)` has been added.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.rows[u].contains(v)
+    }
+
+    /// Adds every edge of the clique over `members`.
+    pub fn add_clique(&mut self, members: &[usize]) -> &mut Self {
+        for (i, &u) in members.iter().enumerate() {
+            for &v in &members[i + 1..] {
+                self.add_edge(u, v);
+            }
+        }
+        self
+    }
+
+    /// Finishes construction.
+    pub fn build(self) -> Graph {
+        let adj: Vec<Vec<u32>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(|v| v as u32).collect())
+            .collect();
+        let edge_count = adj.iter().map(Vec::len).sum::<usize>() / 2;
+        Graph {
+            adj,
+            rows: self.rows,
+            edge_count,
+        }
+    }
+}
+
+/// A simple undirected graph with vertices `0..n`.
+///
+/// Construct with [`GraphBuilder`] or [`Graph::from_edges`].
+///
+/// # Examples
+///
+/// ```
+/// use lra_graph::Graph;
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+/// assert_eq!(g.vertex_count(), 4);
+/// assert_eq!(g.degree(1), 2);
+/// assert!(g.has_edge(2, 1));
+/// assert!(!g.has_edge(0, 3));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<u32>>,
+    rows: Vec<BitSet>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates a graph on `n` vertices from an edge list.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Creates the empty graph on `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        GraphBuilder::new(n).build()
+    }
+
+    /// The number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// The number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterates over all vertices in index order.
+    pub fn vertices(&self) -> impl Iterator<Item = Vertex> + '_ {
+        (0..self.adj.len()).map(Vertex::new)
+    }
+
+    /// Iterates over every edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (Vertex, Vertex)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            nbrs.iter()
+                .filter(move |&&v| (v as usize) > u)
+                .map(move |&v| (Vertex::new(u), Vertex::new(v as usize)))
+        })
+    }
+
+    /// Returns `true` if `(u, v)` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.rows[u].contains(v)
+    }
+
+    /// The degree (number of neighbours) of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// The neighbours of `v` in increasing index order.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = Vertex> + '_ {
+        self.adj[v].iter().map(|&u| Vertex::new(u as usize))
+    }
+
+    /// The neighbours of `v` as a raw sorted slice of indices.
+    pub fn neighbor_indices(&self, v: usize) -> &[u32] {
+        &self.adj[v]
+    }
+
+    /// The neighbourhood of `v` as a bit set over vertex indices.
+    pub fn neighbor_row(&self, v: usize) -> &BitSet {
+        &self.rows[v]
+    }
+
+    /// Returns `true` if `vs` induces a clique (every two members adjacent).
+    pub fn is_clique(&self, vs: &[usize]) -> bool {
+        vs.iter().enumerate().all(|(i, &u)| vs[i + 1..].iter().all(|&v| self.has_edge(u, v)))
+    }
+
+    /// Returns `true` if `vs` is a stable (independent) set.
+    pub fn is_stable_set(&self, vs: &[usize]) -> bool {
+        vs.iter()
+            .enumerate()
+            .all(|(i, &u)| vs[i + 1..].iter().all(|&v| !self.has_edge(u, v)))
+    }
+
+    /// The subgraph induced by `keep`, together with the mapping from new
+    /// vertex index to original index.
+    ///
+    /// Vertices keep their relative order.
+    pub fn induced_subgraph(&self, keep: &BitSet) -> (Graph, Vec<usize>) {
+        let old_of_new: Vec<usize> = keep.iter().collect();
+        let mut new_of_old = vec![usize::MAX; self.vertex_count()];
+        for (new, &old) in old_of_new.iter().enumerate() {
+            new_of_old[old] = new;
+        }
+        let mut b = GraphBuilder::new(old_of_new.len());
+        for (new_u, &old_u) in old_of_new.iter().enumerate() {
+            for &old_v in &self.adj[old_u] {
+                let old_v = old_v as usize;
+                if keep.contains(old_v) && old_v > old_u {
+                    b.add_edge(new_u, new_of_old[old_v]);
+                }
+            }
+        }
+        (b.build(), old_of_new)
+    }
+
+    /// The maximum size of a set of vertices in `subset` that are all in
+    /// one clique with vertex `v` — used by verifiers. Returns the number
+    /// of members of `subset` adjacent to `v`.
+    pub fn adjacent_count_in(&self, v: usize, subset: &BitSet) -> usize {
+        self.rows[v].intersection_len(subset)
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("vertices", &self.vertex_count())
+            .field("edges", &self.edge_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn counts_and_queries() {
+        let g = path4();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn edges_listed_once() {
+        let g = path4();
+        let e: Vec<(usize, usize)> = g.edges().map(|(u, v)| (u.index(), v.index())).collect();
+        assert_eq!(e, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_ignored() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 0), (1, 1)]);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn clique_and_stable_checks() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2)]);
+        assert!(g.is_clique(&[0, 1, 2]));
+        assert!(!g.is_clique(&[0, 1, 3]));
+        assert!(g.is_stable_set(&[0, 3]));
+        assert!(!g.is_stable_set(&[0, 1]));
+        assert!(g.is_stable_set(&[]));
+        assert!(g.is_clique(&[]));
+    }
+
+    #[test]
+    fn add_clique_builder() {
+        let mut b = GraphBuilder::new(5);
+        b.add_clique(&[0, 2, 4]);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.is_clique(&[0, 2, 4]));
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_structure() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 3)]);
+        let keep = BitSet::from_iter_with_capacity(5, [1, 2, 3]);
+        let (sub, map) = g.induced_subgraph(&keep);
+        assert_eq!(sub.vertex_count(), 3);
+        assert_eq!(map, vec![1, 2, 3]);
+        // Edges among {1,2,3}: (1,2),(2,3),(1,3) -> triangle.
+        assert_eq!(sub.edge_count(), 3);
+        assert!(sub.is_clique(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn neighbor_row_matches_adjacency() {
+        let g = path4();
+        let row = g.neighbor_row(1);
+        assert_eq!(row.iter().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn vertex_display_and_conversion() {
+        let v = Vertex::new(7);
+        assert_eq!(format!("{v}"), "v7");
+        assert_eq!(format!("{v:?}"), "v7");
+        assert_eq!(usize::from(v), 7);
+        assert_eq!(Vertex::from(7usize), v);
+    }
+}

@@ -1,0 +1,209 @@
+//! Interval graphs: live ranges over a linearised program order.
+//!
+//! Linear-scan style frameworks approximate each live range by one
+//! interval `[start, end)` over a linearisation of the program. The
+//! intersection graph of intervals is an **interval graph** — a subclass
+//! of chordal graphs — and its maximal cliques correspond exactly to
+//! program points, which makes register pressure (`MaxLive`) explicit.
+//! The exact spill-everywhere solver for interval instances reduces to a
+//! min-cost flow over interval endpoints (see `lra-core`).
+
+use crate::graph::{Graph, GraphBuilder, Vertex};
+
+/// A half-open interval `[start, end)` of program points.
+///
+/// Zero-length intervals (`start == end`) are legal and overlap nothing.
+///
+/// # Examples
+///
+/// ```
+/// use lra_graph::Interval;
+/// let a = Interval::new(0, 4);
+/// let b = Interval::new(3, 6);
+/// assert!(a.overlaps(&b));
+/// assert!(!a.overlaps(&Interval::new(4, 5)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Interval {
+    /// First program point covered.
+    pub start: u32,
+    /// One past the last program point covered.
+    pub end: u32,
+}
+
+impl Interval {
+    /// Creates `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: u32, end: u32) -> Self {
+        assert!(start <= end, "interval start {start} exceeds end {end}");
+        Interval { start, end }
+    }
+
+    /// Returns `true` if the two half-open intervals intersect.
+    /// Empty intervals overlap nothing.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        !self.is_empty() && !other.is_empty() && self.start < other.end && other.start < self.end
+    }
+
+    /// The number of program points covered.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Returns `true` if the interval covers no program point.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns `true` if `point` lies inside the interval.
+    pub fn contains_point(&self, point: u32) -> bool {
+        self.start <= point && point < self.end
+    }
+}
+
+/// Builds the intersection graph of `intervals` (vertex `i` ↔
+/// `intervals[i]`).
+///
+/// Runs a sweep over sorted endpoints, O(n log n + |E|).
+///
+/// # Examples
+///
+/// ```
+/// use lra_graph::interval::{interval_graph, Interval};
+/// let g = interval_graph(&[Interval::new(0, 3), Interval::new(2, 5), Interval::new(4, 6)]);
+/// assert!(g.has_edge(0, 1));
+/// assert!(g.has_edge(1, 2));
+/// assert!(!g.has_edge(0, 2));
+/// ```
+pub fn interval_graph(intervals: &[Interval]) -> Graph {
+    let n = intervals.len();
+    let mut b = GraphBuilder::new(n);
+    // Sweep: sort by start; active list pruned by end.
+    let mut by_start: Vec<usize> = (0..n).collect();
+    by_start.sort_by_key(|&i| intervals[i].start);
+    let mut active: Vec<usize> = Vec::new();
+    for &i in &by_start {
+        active.retain(|&j| intervals[j].end > intervals[i].start);
+        for &j in &active {
+            if intervals[j].overlaps(&intervals[i]) {
+                b.add_edge(i, j);
+            }
+        }
+        if !intervals[i].is_empty() {
+            active.push(i);
+        }
+    }
+    b.build()
+}
+
+/// The maximum number of intervals simultaneously overlapping a point —
+/// the `MaxLive` of the linearised program.
+pub fn max_overlap(intervals: &[Interval]) -> usize {
+    let mut events: Vec<(u32, i32)> = Vec::with_capacity(intervals.len() * 2);
+    for iv in intervals {
+        if !iv.is_empty() {
+            events.push((iv.start, 1));
+            events.push((iv.end, -1));
+        }
+    }
+    events.sort();
+    let mut live = 0i32;
+    let mut max = 0i32;
+    for (_, d) in events {
+        live += d;
+        max = max.max(live);
+    }
+    max as usize
+}
+
+/// An interval-order PEO: sorting vertices by **increasing end point**
+/// yields a perfect elimination order of the interval graph.
+///
+/// (A vertex's later neighbours all contain its end point, hence mutually
+/// overlap.)
+pub fn interval_peo(intervals: &[Interval]) -> Vec<Vertex> {
+    let mut order: Vec<usize> = (0..intervals.len()).collect();
+    order.sort_by_key(|&i| (intervals[i].end, intervals[i].start));
+    order.into_iter().map(Vertex::new).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peo;
+
+    #[test]
+    fn overlap_semantics_half_open() {
+        let a = Interval::new(0, 2);
+        assert!(!a.overlaps(&Interval::new(2, 4)));
+        assert!(a.overlaps(&Interval::new(1, 2)));
+        assert!(!a.overlaps(&Interval::new(1, 1))); // empty interval
+        assert!(a.contains_point(0));
+        assert!(!a.contains_point(2));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds end")]
+    fn backwards_interval_panics() {
+        let _ = Interval::new(3, 2);
+    }
+
+    #[test]
+    fn graph_matches_pairwise_overlap() {
+        let ivs = [
+            Interval::new(0, 5),
+            Interval::new(3, 8),
+            Interval::new(8, 10),
+            Interval::new(4, 9),
+            Interval::new(2, 2),
+        ];
+        let g = interval_graph(&ivs);
+        for i in 0..ivs.len() {
+            for j in i + 1..ivs.len() {
+                assert_eq!(
+                    g.has_edge(i, j),
+                    ivs[i].overlaps(&ivs[j]),
+                    "edge ({i},{j}) mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interval_graphs_are_chordal() {
+        let ivs = [
+            Interval::new(0, 4),
+            Interval::new(1, 6),
+            Interval::new(5, 9),
+            Interval::new(2, 8),
+            Interval::new(7, 12),
+        ];
+        let g = interval_graph(&ivs);
+        assert!(peo::is_chordal(&g));
+        let order = interval_peo(&ivs);
+        assert!(peo::is_perfect_elimination_order(&g, &order));
+    }
+
+    #[test]
+    fn max_overlap_counts_pressure() {
+        let ivs = [
+            Interval::new(0, 10),
+            Interval::new(2, 5),
+            Interval::new(3, 4),
+            Interval::new(6, 8),
+        ];
+        assert_eq!(max_overlap(&ivs), 3); // at point 3: all of 0,1,2
+        assert_eq!(max_overlap(&[]), 0);
+        assert_eq!(max_overlap(&[Interval::new(1, 1)]), 0);
+    }
+
+    #[test]
+    fn max_overlap_touching_endpoints_do_not_stack() {
+        let ivs = [Interval::new(0, 3), Interval::new(3, 6)];
+        assert_eq!(max_overlap(&ivs), 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests of the graph substrate.
+
+use lra_graph::{cliques, coloring, generate, interval, peo, stable, BitSet, WeightedGraph};
+use proptest::prelude::*;
+use rand::Rng as _;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Subtree-intersection graphs are chordal, and the PEO the MCS
+    /// produces passes the independent Golumbic check.
+    #[test]
+    fn generated_chordal_graphs_have_valid_peos(seed in 0u64..10_000, n in 2usize..60) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generate::random_chordal(&mut rng, n, n + 10, 4);
+        let order = peo::perfect_elimination_order(&g).expect("chordal");
+        prop_assert!(peo::is_perfect_elimination_order(&g, &order));
+        // Lex-BFS agrees on chordality.
+        let mut lex = peo::lex_bfs_order(&g);
+        lex.reverse();
+        prop_assert!(peo::is_perfect_elimination_order(&g, &lex));
+    }
+
+    /// Maximal cliques are cliques, are maximal, and cover every edge.
+    #[test]
+    fn maximal_cliques_cover_edges(seed in 0u64..10_000, n in 2usize..50) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generate::random_chordal(&mut rng, n, n + 8, 4);
+        let order = peo::perfect_elimination_order(&g).expect("chordal");
+        let cs = cliques::maximal_cliques(&g, &order);
+        for c in &cs {
+            let idx: Vec<usize> = c.iter().map(|v| v.index()).collect();
+            prop_assert!(g.is_clique(&idx));
+            for v in 0..n {
+                if !idx.contains(&v) {
+                    prop_assert!(!idx.iter().all(|&u| g.has_edge(u, v)), "not maximal");
+                }
+            }
+        }
+        for (u, v) in g.edges() {
+            prop_assert!(
+                cs.iter().any(|c| c.contains(&u) && c.contains(&v)),
+                "edge ({u},{v}) not covered by any maximal clique"
+            );
+        }
+        // A chordal graph has at most n maximal cliques.
+        prop_assert!(cs.len() <= n);
+    }
+
+    /// The clique tree satisfies the junction property and its largest
+    /// bag equals the chromatic number found by PEO colouring.
+    #[test]
+    fn clique_tree_consistent_with_coloring(seed in 0u64..10_000, n in 2usize..40) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generate::random_chordal(&mut rng, n, n + 8, 4);
+        let order = peo::perfect_elimination_order(&g).expect("chordal");
+        let t = cliques::CliqueTree::build(&g, &order);
+        prop_assert!(t.junction_property_holds());
+        let colors = coloring::greedy_peo_coloring(&g, &order);
+        prop_assert!(coloring::is_proper_coloring(&g, &colors, None));
+        prop_assert_eq!(coloring::color_count(&colors), t.max_bag_size());
+        prop_assert_eq!(t.max_bag_size(), cliques::max_clique_size(&g, &order));
+    }
+
+    /// Frank's stable set is stable and weight-maximal (vs brute force).
+    #[test]
+    fn frank_stable_and_optimal(seed in 0u64..10_000, n in 2usize..16) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generate::random_chordal(&mut rng, n, n + 6, 3);
+        let w = generate::random_weights(&mut rng, n, 2);
+        let wg = WeightedGraph::new(g, w);
+        let order = peo::perfect_elimination_order(wg.graph()).expect("chordal");
+        let fast = stable::max_weight_stable_set(&wg, &order);
+        let idx: Vec<usize> = fast.vertices.iter().map(|v| v.index()).collect();
+        prop_assert!(wg.graph().is_stable_set(&idx));
+        prop_assert_eq!(fast.weight, wg.weight_of_slice(&idx));
+        let brute = stable::max_weight_stable_set_brute(&wg, None);
+        prop_assert_eq!(fast.weight, brute.weight);
+    }
+
+    /// Interval graphs: edges are exactly pairwise overlaps, MaxLive
+    /// equals the max clique, and the end-point order is a PEO.
+    #[test]
+    fn interval_graph_consistency(seed in 0u64..10_000, n in 1usize..50) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let profile = generate::IntervalProfile {
+            n,
+            points: (n as u32) * 3 + 2,
+            mean_len: 5,
+            long_lived_percent: 20,
+        };
+        let ivs = generate::random_interval_set(&mut rng, &profile);
+        let g = interval::interval_graph(&ivs);
+        for i in 0..n {
+            for j in i + 1..n {
+                prop_assert_eq!(g.has_edge(i, j), ivs[i].overlaps(&ivs[j]));
+            }
+        }
+        let order = interval::interval_peo(&ivs);
+        prop_assert!(peo::is_perfect_elimination_order(&g, &order));
+        prop_assert_eq!(
+            interval::max_overlap(&ivs),
+            cliques::max_clique_size(&g, &order)
+        );
+    }
+
+    /// BitSet behaves like a reference BTreeSet under a random op
+    /// sequence.
+    #[test]
+    fn bitset_matches_reference(seed in 0u64..10_000, ops in 1usize..200) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let cap = 100;
+        let mut bs = BitSet::new(cap);
+        let mut reference = std::collections::BTreeSet::new();
+        for _ in 0..ops {
+            let k = rng.gen_range(0..cap);
+            match rng.gen_range(0..3) {
+                0 => {
+                    prop_assert_eq!(bs.insert(k), reference.insert(k));
+                }
+                1 => {
+                    prop_assert_eq!(bs.remove(k), reference.remove(&k));
+                }
+                _ => {
+                    prop_assert_eq!(bs.contains(k), reference.contains(&k));
+                }
+            }
+        }
+        prop_assert_eq!(bs.len(), reference.len());
+        prop_assert_eq!(bs.iter().collect::<Vec<_>>(), reference.iter().copied().collect::<Vec<_>>());
+    }
+}

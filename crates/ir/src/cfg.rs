@@ -1,0 +1,365 @@
+//! The intermediate representation: functions, blocks and instructions.
+//!
+//! The IR is deliberately small — just enough structure for register
+//! allocation research: virtual registers ([`Value`]), basic blocks with
+//! explicit successor lists, φ-instructions for SSA form, and opcodes
+//! distinguished only where the allocator cares (calls clobber
+//! caller-saved registers; loads/stores are spill code).
+
+/// A virtual register (an SSA value or, in non-SSA functions, a mutable
+/// temporary).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Value(pub u32);
+
+impl Value {
+    /// Index into side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// Identifies a basic block within its [`Function`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Index into the function's block vector.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// Instruction kinds. Only distinctions relevant to allocation exist.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// An ordinary computation (constant, arithmetic, compare, …).
+    Op,
+    /// SSA φ: selects among `uses` according to the incoming edge; the
+    /// i-th use corresponds to the i-th predecessor of the block.
+    Phi,
+    /// A call site: values live across it are ABI-penalised.
+    Call,
+    /// A spill reload (inserted by spill-everywhere rewriting).
+    Load,
+    /// A spill store (inserted by spill-everywhere rewriting).
+    Store,
+    /// A register-to-register copy.
+    Copy,
+}
+
+/// One instruction: at most one defined value plus a list of used values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Instr {
+    /// What kind of instruction this is.
+    pub opcode: Opcode,
+    /// The value defined, if any (stores and pure effects define none).
+    pub def: Option<Value>,
+    /// The values read. For [`Opcode::Phi`], parallel to the block's
+    /// predecessor list.
+    pub uses: Vec<Value>,
+}
+
+impl Instr {
+    /// Creates an ordinary instruction.
+    pub fn new(opcode: Opcode, def: Option<Value>, uses: Vec<Value>) -> Self {
+        Instr { opcode, def, uses }
+    }
+
+    /// Returns `true` for φ-instructions.
+    pub fn is_phi(&self) -> bool {
+        self.opcode == Opcode::Phi
+    }
+}
+
+/// A basic block: φs first, then ordinary instructions; control flow is
+/// expressed by the successor list.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Block {
+    /// Instructions in program order (φs must come first).
+    pub instrs: Vec<Instr>,
+    /// Successor blocks (0 = return block, 1 = jump, 2 = branch, …).
+    pub succs: Vec<BlockId>,
+    /// Predecessor blocks; filled in by [`Function::recompute_preds`].
+    pub preds: Vec<BlockId>,
+}
+
+impl Block {
+    /// Iterates over the φ-instructions at the top of the block.
+    pub fn phis(&self) -> impl Iterator<Item = &Instr> {
+        self.instrs.iter().take_while(|i| i.is_phi())
+    }
+
+    /// Iterates over the non-φ instructions.
+    pub fn body(&self) -> impl Iterator<Item = &Instr> {
+        self.instrs.iter().skip_while(|i| i.is_phi())
+    }
+}
+
+/// A function: a CFG over [`Block`]s with a distinguished entry.
+///
+/// Invariants (checked by [`Function::validate`]):
+/// * successor/predecessor lists are consistent,
+/// * φs appear only at block tops, with one use per predecessor,
+/// * every used `Value` index is below `value_count`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Function {
+    /// Human-readable name (benchmark::function).
+    pub name: String,
+    /// Blocks, indexed by [`BlockId`].
+    pub blocks: Vec<Block>,
+    /// The entry block (no predecessors).
+    pub entry: BlockId,
+    /// Number of distinct `Value`s; values are `0..value_count`.
+    pub value_count: u32,
+    /// Parameters, defined on entry.
+    pub params: Vec<Value>,
+}
+
+impl Function {
+    /// The number of basic blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Iterates over block ids in index order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// The block with id `b`.
+    pub fn block(&self, b: BlockId) -> &Block {
+        &self.blocks[b.index()]
+    }
+
+    /// Recomputes every predecessor list from the successor lists.
+    pub fn recompute_preds(&mut self) {
+        for b in &mut self.blocks {
+            b.preds.clear();
+        }
+        let edges: Vec<(BlockId, BlockId)> = self
+            .blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(i, b)| b.succs.iter().map(move |&s| (BlockId(i as u32), s)))
+            .collect();
+        for (from, to) in edges {
+            self.blocks[to.index()].preds.push(from);
+        }
+    }
+
+    /// A reverse postorder of the blocks reachable from the entry.
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let n = self.blocks.len();
+        let mut visited = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        // Iterative DFS with an explicit phase marker.
+        let mut stack = vec![(self.entry, 0usize)];
+        visited[self.entry.index()] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let succs = &self.blocks[b.index()].succs;
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Checks structural invariants, returning a description of the
+    /// first violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if an edge is dangling, preds/succs disagree, a φ
+    /// is misplaced or mis-sized, or a value index is out of range.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.blocks.len();
+        if self.entry.index() >= n {
+            return Err(format!("entry {} out of range", self.entry));
+        }
+        for (i, b) in self.blocks.iter().enumerate() {
+            let id = BlockId(i as u32);
+            for &s in &b.succs {
+                if s.index() >= n {
+                    return Err(format!("{id}: successor {s} out of range"));
+                }
+                if !self.blocks[s.index()].preds.contains(&id) {
+                    return Err(format!("{id}: missing back-pointer from {s}"));
+                }
+            }
+            for &p in &b.preds {
+                if p.index() >= n || !self.blocks[p.index()].succs.contains(&id) {
+                    return Err(format!("{id}: stale predecessor {p}"));
+                }
+            }
+            let mut body_seen = false;
+            for (j, instr) in b.instrs.iter().enumerate() {
+                if instr.is_phi() {
+                    if body_seen {
+                        return Err(format!("{id}: φ at position {j} after body"));
+                    }
+                    if instr.uses.len() != b.preds.len() {
+                        return Err(format!(
+                            "{id}: φ has {} uses for {} predecessors",
+                            instr.uses.len(),
+                            b.preds.len()
+                        ));
+                    }
+                    if instr.def.is_none() {
+                        return Err(format!("{id}: φ without def"));
+                    }
+                } else {
+                    body_seen = true;
+                }
+                for v in instr.def.iter().chain(instr.uses.iter()) {
+                    if v.0 >= self.value_count {
+                        return Err(format!("{id}: value {v} out of range"));
+                    }
+                }
+            }
+        }
+        for p in &self.params {
+            if p.0 >= self.value_count {
+                return Err(format!("parameter {p} out of range"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of instructions.
+    pub fn instr_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Function {
+        // bb0 -> bb1, bb2; bb1 -> bb3; bb2 -> bb3.
+        let mut f = Function {
+            name: "diamond".into(),
+            blocks: vec![Block::default(), Block::default(), Block::default(), Block::default()],
+            entry: BlockId(0),
+            value_count: 0,
+            params: vec![],
+        };
+        f.blocks[0].succs = vec![BlockId(1), BlockId(2)];
+        f.blocks[1].succs = vec![BlockId(3)];
+        f.blocks[2].succs = vec![BlockId(3)];
+        f.recompute_preds();
+        f
+    }
+
+    #[test]
+    fn preds_follow_succs() {
+        let f = diamond();
+        assert_eq!(f.block(BlockId(3)).preds, vec![BlockId(1), BlockId(2)]);
+        assert!(f.block(BlockId(0)).preds.is_empty());
+        assert!(f.validate().is_ok());
+    }
+
+    #[test]
+    fn reverse_postorder_starts_at_entry() {
+        let f = diamond();
+        let rpo = f.reverse_postorder();
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(*rpo.last().unwrap(), BlockId(3));
+    }
+
+    #[test]
+    fn rpo_ignores_unreachable_blocks() {
+        let mut f = diamond();
+        f.blocks.push(Block::default()); // unreachable bb4
+        f.recompute_preds();
+        assert_eq!(f.reverse_postorder().len(), 4);
+    }
+
+    #[test]
+    fn validate_rejects_misplaced_phi() {
+        let mut f = diamond();
+        f.value_count = 2;
+        f.blocks[3].instrs = vec![
+            Instr::new(Opcode::Op, Some(Value(0)), vec![]),
+            Instr::new(Opcode::Phi, Some(Value(1)), vec![Value(0), Value(0)]),
+        ];
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_phi_arity_mismatch() {
+        let mut f = diamond();
+        f.value_count = 1;
+        f.blocks[3].instrs = vec![Instr::new(Opcode::Phi, Some(Value(0)), vec![Value(0)])];
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_value() {
+        let mut f = diamond();
+        f.value_count = 1;
+        f.blocks[1].instrs = vec![Instr::new(Opcode::Op, Some(Value(5)), vec![])];
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_stale_pred() {
+        let mut f = diamond();
+        f.blocks[3].preds.push(BlockId(0)); // bb0 is not actually a pred
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn block_phi_and_body_split() {
+        let mut f = diamond();
+        f.value_count = 3;
+        f.blocks[3].instrs = vec![
+            Instr::new(Opcode::Phi, Some(Value(0)), vec![Value(1), Value(1)]),
+            Instr::new(Opcode::Op, Some(Value(2)), vec![Value(0)]),
+        ];
+        let b = f.block(BlockId(3));
+        assert_eq!(b.phis().count(), 1);
+        assert_eq!(b.body().count(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Value(3)), "%3");
+        assert_eq!(format!("{}", BlockId(2)), "bb2");
+        assert_eq!(format!("{:?}", Value(3)), "%3");
+    }
+}

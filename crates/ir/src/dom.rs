@@ -1,0 +1,259 @@
+//! Dominator trees (Cooper–Harvey–Kennedy).
+//!
+//! Strict SSA requires definitions to dominate uses; live ranges are
+//! then subtrees of the dominance tree, which is why SSA interference
+//! graphs are chordal. The iterative algorithm of Cooper, Harvey &
+//! Kennedy ("A Simple, Fast Dominance Algorithm") computes immediate
+//! dominators over the reverse postorder.
+
+#![allow(clippy::needless_range_loop)] // parallel arrays indexed by block id
+
+use crate::cfg::{BlockId, Function};
+
+/// The dominator tree of a [`Function`].
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// Immediate dominator of each block (`idom[entry] == entry`);
+    /// `None` for unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+    /// DFS entry/exit times on the dominator tree, for O(1)
+    /// `dominates` queries.
+    tin: Vec<u32>,
+    tout: Vec<u32>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `f`.
+    pub fn compute(f: &Function) -> Self {
+        let n = f.block_count();
+        let rpo = f.reverse_postorder();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[f.entry.index()] = Some(f.entry);
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            while a != b {
+                while rpo_index[a.index()] > rpo_index[b.index()] {
+                    a = idom[a.index()].expect("processed block has idom");
+                }
+                while rpo_index[b.index()] > rpo_index[a.index()] {
+                    b = idom[b.index()].expect("processed block has idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &f.block(b).preds {
+                    if rpo_index[p.index()] == usize::MAX || idom[p.index()].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if new_idom.is_some() && idom[b.index()] != new_idom {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        // DFS times over the dominator tree for O(1) dominance queries.
+        let mut children: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for b in 0..n {
+            if let Some(d) = idom[b] {
+                if d.index() != b {
+                    children[d.index()].push(BlockId(b as u32));
+                }
+            }
+        }
+        let mut tin = vec![0u32; n];
+        let mut tout = vec![0u32; n];
+        let mut clock = 1u32;
+        let mut stack = vec![(f.entry, false)];
+        while let Some((b, done)) = stack.pop() {
+            if done {
+                tout[b.index()] = clock;
+                clock += 1;
+            } else {
+                tin[b.index()] = clock;
+                clock += 1;
+                stack.push((b, true));
+                for &c in &children[b.index()] {
+                    stack.push((c, false));
+                }
+            }
+        }
+
+        DomTree { idom, tin, tout }
+    }
+
+    /// The immediate dominator of `b` (`b` itself for the entry), or
+    /// `None` if `b` is unreachable.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[a.index()].is_none() || self.idom[b.index()].is_none() {
+            return false;
+        }
+        self.tin[a.index()] <= self.tin[b.index()] && self.tout[b.index()] <= self.tout[a.index()]
+    }
+
+    /// Returns `true` if `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// Reference check by set intersection over all paths — O(n²·E),
+    /// used by tests to validate the fast algorithm.
+    pub fn dominates_naive(f: &Function, a: BlockId, b: BlockId) -> bool {
+        // a dominates b iff removing a makes b unreachable from entry
+        // (or a == b == reachable).
+        let n = f.block_count();
+        let mut reach = vec![false; n];
+        if f.entry != a {
+            let mut stack = vec![f.entry];
+            reach[f.entry.index()] = true;
+            while let Some(x) = stack.pop() {
+                for &s in &f.block(x).succs {
+                    if s != a && !reach[s.index()] {
+                        reach[s.index()] = true;
+                        stack.push(s);
+                    }
+                }
+            }
+        }
+        // b unreachable without a, and b reachable at all.
+        let mut reach_all = vec![false; n];
+        let mut stack = vec![f.entry];
+        reach_all[f.entry.index()] = true;
+        while let Some(x) = stack.pop() {
+            for &s in &f.block(x).succs {
+                if !reach_all[s.index()] {
+                    reach_all[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        reach_all[b.index()] && (a == b || !reach[b.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Block;
+
+    fn function_with_edges(n: usize, edges: &[(u32, u32)]) -> Function {
+        let mut f = Function {
+            name: "t".into(),
+            blocks: (0..n).map(|_| Block::default()).collect(),
+            entry: BlockId(0),
+            value_count: 0,
+            params: vec![],
+        };
+        for &(a, b) in edges {
+            f.blocks[a as usize].succs.push(BlockId(b));
+        }
+        f.recompute_preds();
+        f
+    }
+
+    #[test]
+    fn diamond_idoms() {
+        let f = function_with_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let d = DomTree::compute(&f);
+        assert_eq!(d.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(d.idom(BlockId(2)), Some(BlockId(0)));
+        assert_eq!(d.idom(BlockId(3)), Some(BlockId(0))); // join dominated by fork
+        assert!(d.dominates(BlockId(0), BlockId(3)));
+        assert!(!d.dominates(BlockId(1), BlockId(3)));
+        assert!(d.dominates(BlockId(3), BlockId(3)));
+        assert!(!d.strictly_dominates(BlockId(3), BlockId(3)));
+    }
+
+    #[test]
+    fn loop_idoms() {
+        // 0 -> 1 (header) -> 2 (body) -> 1; 1 -> 3 (exit).
+        let f = function_with_edges(4, &[(0, 1), (1, 2), (2, 1), (1, 3)]);
+        let d = DomTree::compute(&f);
+        assert_eq!(d.idom(BlockId(2)), Some(BlockId(1)));
+        assert_eq!(d.idom(BlockId(3)), Some(BlockId(1)));
+        assert!(d.dominates(BlockId(1), BlockId(2)));
+        assert!(!d.dominates(BlockId(2), BlockId(3)));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let f = function_with_edges(3, &[(0, 1)]);
+        let d = DomTree::compute(&f);
+        assert_eq!(d.idom(BlockId(2)), None);
+        assert!(!d.dominates(BlockId(0), BlockId(2)));
+        assert!(!d.dominates(BlockId(2), BlockId(0)));
+    }
+
+    #[test]
+    fn matches_naive_on_irreducible_cfg() {
+        // Irreducible: 0 -> {1, 2}, 1 <-> 2, both -> 3.
+        let f = function_with_edges(4, &[(0, 1), (0, 2), (1, 2), (2, 1), (1, 3), (2, 3)]);
+        let d = DomTree::compute(&f);
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                assert_eq!(
+                    d.dominates(BlockId(a), BlockId(b)),
+                    DomTree::dominates_naive(&f, BlockId(a), BlockId(b)),
+                    "dominates({a},{b}) mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_nested_loops() {
+        let f = function_with_edges(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 2),
+                (3, 4),
+                (4, 1),
+                (4, 5),
+                (5, 6),
+            ],
+        );
+        let d = DomTree::compute(&f);
+        for a in 0..7u32 {
+            for b in 0..7u32 {
+                assert_eq!(
+                    d.dominates(BlockId(a), BlockId(b)),
+                    DomTree::dominates_naive(&f, BlockId(a), BlockId(b)),
+                    "dominates({a},{b}) mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn entry_dominates_everything_reachable() {
+        let f = function_with_edges(5, &[(0, 1), (1, 2), (2, 3), (1, 4), (4, 3)]);
+        let d = DomTree::compute(&f);
+        for b in 0..5u32 {
+            assert!(d.dominates(BlockId(0), BlockId(b)));
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Backward liveness analysis with SSA φ semantics.
+//!
+//! The central quantity of decoupled register allocation is **MaxLive**:
+//! the maximum number of variables simultaneously live at any program
+//! point. If `MaxLive ≤ R` the assignment phase needs no spill, so the
+//! spilling problem is exactly "lower MaxLive to R at minimum cost".
+//!
+//! φ conventions (standard for SSA-based allocation):
+//! * a φ's *uses* are live at the end of the corresponding predecessor,
+//! * a φ's *def* is live-in of its block,
+//!
+//! so φ-related values of different predecessors do not artificially
+//! interfere.
+
+use crate::cfg::{Function, Opcode};
+use lra_graph::BitSet;
+
+/// Per-block live sets plus register-pressure summaries.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    /// Values live at block entry (φ defs included), indexed by block.
+    pub live_in: Vec<BitSet>,
+    /// Values live at block exit (φ uses of successors included).
+    pub live_out: Vec<BitSet>,
+    /// Maximum pressure over every program point of the function.
+    pub max_live: usize,
+    /// Maximum pressure within each block.
+    pub block_max_live: Vec<usize>,
+}
+
+/// Runs liveness analysis over `f`.
+///
+/// Iterates the backward dataflow equations to a fixed point (postorder
+/// for fast convergence), then sweeps each block once to measure
+/// per-point pressure.
+pub fn analyze(f: &Function) -> Liveness {
+    let n = f.block_count();
+    let nv = f.value_count as usize;
+
+    // Per-block upward-exposed uses and defs (φs handled separately).
+    let mut ue = vec![BitSet::new(nv); n];
+    let mut defs = vec![BitSet::new(nv); n];
+    let mut phi_defs = vec![BitSet::new(nv); n];
+    for b in 0..n {
+        let block = &f.blocks[b];
+        for instr in block.instrs.iter().rev() {
+            if instr.opcode == Opcode::Phi {
+                if let Some(d) = instr.def {
+                    phi_defs[b].insert(d.index());
+                }
+                continue;
+            }
+            if let Some(d) = instr.def {
+                ue[b].remove(d.index());
+                defs[b].insert(d.index());
+            }
+            for u in &instr.uses {
+                ue[b].insert(u.index());
+            }
+        }
+    }
+
+    // φ uses contributed to each predecessor's live-out.
+    let mut phi_out = vec![BitSet::new(nv); n];
+    for b in 0..n {
+        let block = &f.blocks[b];
+        for instr in block.phis() {
+            for (i, u) in instr.uses.iter().enumerate() {
+                let p = block.preds[i];
+                phi_out[p.index()].insert(u.index());
+            }
+        }
+    }
+
+    let mut live_in = vec![BitSet::new(nv); n];
+    let mut live_out = vec![BitSet::new(nv); n];
+
+    // Postorder = reverse of RPO; good order for backward problems.
+    let mut order = f.reverse_postorder();
+    order.reverse();
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &order {
+            let bi = b.index();
+            // live_out(b) = Σ_succ (live_in(s) \ phi_defs(s)) ∪ phi_out(b)
+            let mut out = phi_out[bi].clone();
+            for &s in &f.blocks[bi].succs {
+                let mut from_s = live_in[s.index()].clone();
+                from_s.difference_with(&phi_defs[s.index()]);
+                out.union_with(&from_s);
+            }
+            // live_in(b) = phi_defs ∪ ue ∪ (out \ defs)
+            let mut inn = out.clone();
+            inn.difference_with(&defs[bi]);
+            inn.union_with(&ue[bi]);
+            inn.union_with(&phi_defs[bi]);
+            if out != live_out[bi] || inn != live_in[bi] {
+                live_out[bi] = out;
+                live_in[bi] = inn;
+                changed = true;
+            }
+        }
+    }
+
+    // Pressure sweep: walk each block backward tracking the live set.
+    let mut block_max_live = vec![0usize; n];
+    let mut max_live = 0usize;
+    for b in 0..n {
+        let mut live = live_out[b].clone();
+        let mut local_max = live.len();
+        for instr in f.blocks[b].instrs.iter().rev() {
+            if instr.opcode == Opcode::Phi {
+                // φ defs are conceptually parallel at block entry; they
+                // are all in live_in already. Stop the sweep here.
+                break;
+            }
+            if let Some(d) = instr.def {
+                live.remove(d.index());
+            }
+            for u in &instr.uses {
+                live.insert(u.index());
+            }
+            local_max = local_max.max(live.len());
+        }
+        local_max = local_max.max(live_in[b].len());
+        block_max_live[b] = local_max;
+        max_live = max_live.max(local_max);
+    }
+
+    Liveness {
+        live_in,
+        live_out,
+        max_live,
+        block_max_live,
+    }
+}
+
+/// Returns the values live across at least one [`Opcode::Call`] site —
+/// candidates for the ABI call-crossing cost penalty.
+pub fn live_across_calls(f: &Function, live: &Liveness) -> BitSet {
+    let nv = f.value_count as usize;
+    let mut crossing = BitSet::new(nv);
+    for b in f.block_ids() {
+        let bi = b.index();
+        let mut live_set = live.live_out[bi].clone();
+        for instr in f.blocks[bi].instrs.iter().rev() {
+            if instr.opcode == Opcode::Phi {
+                break;
+            }
+            if let Some(d) = instr.def {
+                live_set.remove(d.index());
+            }
+            if instr.opcode == Opcode::Call {
+                // Values live across the call (not its own operands'
+                // last uses, which die at the call).
+                crossing.union_with(&live_set);
+            }
+            for u in &instr.uses {
+                live_set.insert(u.index());
+            }
+        }
+    }
+    crossing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+
+    #[test]
+    fn straight_line_liveness() {
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry_block();
+        let x = b.op(e, &[]);
+        let y = b.op(e, &[x]);
+        let _z = b.op(e, &[x, y]);
+        let f = b.finish();
+        let live = analyze(&f);
+        assert!(live.live_in[0].is_empty());
+        assert!(live.live_out[0].is_empty());
+        // x and y live simultaneously between y's def and z.
+        assert_eq!(live.max_live, 2);
+    }
+
+    #[test]
+    fn value_live_across_blocks() {
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry_block();
+        let next = b.block();
+        b.set_succs(e, &[next]);
+        let x = b.op(e, &[]);
+        b.op(next, &[x]);
+        let f = b.finish();
+        let live = analyze(&f);
+        assert!(live.live_out[0].contains(x.index()));
+        assert!(live.live_in[1].contains(x.index()));
+    }
+
+    #[test]
+    fn phi_def_live_in_and_uses_live_out_of_preds() {
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry_block();
+        let l = b.block();
+        let r = b.block();
+        let j = b.block();
+        b.set_succs(e, &[l, r]);
+        b.set_succs(l, &[j]);
+        b.set_succs(r, &[j]);
+        let xl = b.op(l, &[]);
+        let xr = b.op(r, &[]);
+        let m = b.phi(j, &[xl, xr]);
+        b.op(j, &[m]);
+        let f = b.finish();
+        let live = analyze(&f);
+        // φ uses live out of their own predecessor only.
+        assert!(live.live_out[l.index()].contains(xl.index()));
+        assert!(!live.live_out[l.index()].contains(xr.index()));
+        assert!(live.live_out[r.index()].contains(xr.index()));
+        // φ def live-in of join but NOT live-out of preds.
+        assert!(live.live_in[j.index()].contains(m.index()));
+        assert!(!live.live_out[l.index()].contains(m.index()));
+    }
+
+    #[test]
+    fn loop_carried_value_live_around_backedge() {
+        let mut b = FunctionBuilder::new("loop");
+        let e = b.entry_block();
+        let init = b.op(e, &[]);
+        let h = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.set_succs(e, &[h]);
+        b.set_succs(h, &[body, exit]);
+        b.set_succs(body, &[h]);
+        let carried = b.phi(h, &[init, init]);
+        let next = b.op(body, &[carried]);
+        b.patch_phi_arg(h, carried, 1, next);
+        b.op(exit, &[carried]);
+        let f = b.finish();
+        let live = analyze(&f);
+        // carried is live everywhere in the loop.
+        assert!(live.live_in[h.index()].contains(carried.index()));
+        assert!(live.live_out[h.index()].contains(carried.index()));
+        assert!(live.live_out[body.index()].contains(next.index()));
+    }
+
+    #[test]
+    fn max_live_counts_peak_pressure() {
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry_block();
+        let vs: Vec<_> = (0..5).map(|_| b.op(e, &[])).collect();
+        b.op(e, &vs); // all five live here
+        let f = b.finish();
+        let live = analyze(&f);
+        assert_eq!(live.max_live, 5);
+        assert_eq!(live.block_max_live[0], 5);
+    }
+
+    #[test]
+    fn dead_value_not_live_anywhere() {
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry_block();
+        let _dead = b.op(e, &[]);
+        let f = b.finish();
+        let live = analyze(&f);
+        assert!(live.live_in[0].is_empty());
+        assert!(live.live_out[0].is_empty());
+    }
+
+    #[test]
+    fn live_across_calls_detects_crossing_values() {
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry_block();
+        let x = b.op(e, &[]); // live across the call
+        let arg = b.op(e, &[]); // dies at the call
+        let r = b.call(e, &[arg]);
+        b.op(e, &[x, r]);
+        let f = b.finish();
+        let live = analyze(&f);
+        let crossing = live_across_calls(&f, &live);
+        assert!(crossing.contains(x.index()));
+        assert!(!crossing.contains(arg.index()));
+        // The call result is defined, not live across its own call.
+        assert!(!crossing.contains(r.index()));
+    }
+}

@@ -1,0 +1,109 @@
+//! Textual pretty-printer for [`Function`]s.
+
+use crate::cfg::{Function, Opcode};
+use std::fmt::Write as _;
+
+/// Renders `f` as readable pseudo-assembly.
+///
+/// # Examples
+///
+/// ```
+/// use lra_ir::builder::FunctionBuilder;
+/// use lra_ir::pretty;
+///
+/// let mut b = FunctionBuilder::new("demo");
+/// let e = b.entry_block();
+/// let x = b.op(e, &[]);
+/// b.op(e, &[x]);
+/// let f = b.finish();
+/// let text = pretty::print(&f);
+/// assert!(text.contains("fn demo"));
+/// assert!(text.contains("%0 = op"));
+/// ```
+pub fn print(f: &Function) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fn {}({}) {{",
+        f.name,
+        f.params
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    for b in f.block_ids() {
+        let block = f.block(b);
+        let preds = block
+            .preds
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "{b}:{}", if preds.is_empty() { String::new() } else { format!(" ; preds: {preds}") });
+        for instr in &block.instrs {
+            let mnemonic = match instr.opcode {
+                Opcode::Op => "op",
+                Opcode::Phi => "phi",
+                Opcode::Call => "call",
+                Opcode::Load => "load",
+                Opcode::Store => "store",
+                Opcode::Copy => "copy",
+            };
+            let uses = instr
+                .uses
+                .iter()
+                .map(|u| u.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            match instr.def {
+                Some(d) => {
+                    let _ = writeln!(out, "  {d} = {mnemonic} {uses}");
+                }
+                None => {
+                    let _ = writeln!(out, "  {mnemonic} {uses}");
+                }
+            }
+        }
+        if !block.succs.is_empty() {
+            let succs = block
+                .succs
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(out, "  -> {succs}");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+
+    #[test]
+    fn prints_blocks_phis_and_edges() {
+        let mut b = FunctionBuilder::new("g");
+        let e = b.entry_block();
+        let p = b.param();
+        let l = b.block();
+        let r = b.block();
+        let j = b.block();
+        b.set_succs(e, &[l, r]);
+        b.set_succs(l, &[j]);
+        b.set_succs(r, &[j]);
+        let m = b.phi(j, &[p, p]);
+        b.effect(j, crate::cfg::Opcode::Store, &[m]);
+        let f = b.finish();
+        let s = print(&f);
+        assert!(s.contains("fn g(%0)"));
+        assert!(s.contains("phi %0, %0"));
+        assert!(s.contains("-> bb1, bb2"));
+        assert!(s.contains("store %1"));
+        assert!(s.contains("; preds: bb1, bb2"));
+        assert!(s.ends_with("}\n"));
+    }
+}

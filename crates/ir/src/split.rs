@@ -1,0 +1,204 @@
+//! Live-range splitting: from spill-everywhere to load-store optimisation.
+//!
+//! Section 2.1 of the paper observes that the Appel–George "a variable
+//! is in memory or in register but not both" formulation *is* spill
+//! everywhere on a program whose **live ranges are split at every use**
+//! (item 3), and that a spill-everywhere solution serves as an oracle
+//! for the finer-grained load-store optimisation problem (item 4).
+//!
+//! [`split_at_uses`] performs that transformation: before every use of
+//! a value a fresh [`Opcode::Copy`] is inserted and the use is rewritten
+//! to the copy. Each original value then carries only the *connector*
+//! range (def to last copy); each copy is a short single-use range.
+//! Spilling a connector while keeping its copies in registers is
+//! exactly "store once, reload before each use" — the allocator now
+//! decides load-store placement through ordinary spill-everywhere
+//! choices. The inserted copies are φ-free, so strict SSA (and hence
+//! chordality of the interference graph) is preserved.
+
+#![allow(clippy::needless_range_loop)] // parallel arrays indexed by block id
+
+use crate::cfg::{Block, Function, Instr, Opcode, Value};
+
+/// Result of [`split_at_uses`].
+#[derive(Clone, Debug)]
+pub struct SplitFunction {
+    /// The rewritten function.
+    pub function: Function,
+    /// For every new value: the original value it was split from
+    /// (identity for the originals). Indexed by value.
+    pub origin: Vec<Value>,
+    /// Number of copies inserted.
+    pub copies: usize,
+}
+
+/// Splits every live range at each of its uses.
+///
+/// φ uses are split at the tail of the incoming predecessor (the same
+/// placement spill reloads would take). Uses that are already copies
+/// are left alone to keep the transformation idempotent-ish.
+pub fn split_at_uses(f: &Function) -> SplitFunction {
+    let mut next = f.value_count;
+    let mut origin: Vec<Value> = (0..f.value_count).map(Value).collect();
+    let mut copies = 0usize;
+    let mut fresh = |of: Value, origin: &mut Vec<Value>| {
+        let v = Value(next);
+        next += 1;
+        origin.push(of);
+        v
+    };
+
+    let n = f.block_count();
+    let mut new_instrs: Vec<Vec<Instr>> = vec![Vec::new(); n];
+    let mut pred_tail: Vec<Vec<Instr>> = vec![Vec::new(); n];
+
+    for b in 0..n {
+        for instr in &f.blocks[b].instrs {
+            let mut instr = instr.clone();
+            match instr.opcode {
+                Opcode::Phi => {
+                    for (i, u) in instr.uses.iter_mut().enumerate() {
+                        let s = fresh(origin[u.index()], &mut origin);
+                        copies += 1;
+                        let p = f.blocks[b].preds[i];
+                        pred_tail[p.index()].push(Instr::new(Opcode::Copy, Some(s), vec![*u]));
+                        *u = s;
+                    }
+                }
+                Opcode::Copy => {} // already a split point
+                _ => {
+                    for u in instr.uses.iter_mut() {
+                        let s = fresh(origin[u.index()], &mut origin);
+                        copies += 1;
+                        new_instrs[b].push(Instr::new(Opcode::Copy, Some(s), vec![*u]));
+                        *u = s;
+                    }
+                }
+            }
+            new_instrs[b].push(instr);
+        }
+    }
+
+    let blocks: Vec<Block> = (0..n)
+        .map(|b| {
+            let mut instrs = std::mem::take(&mut new_instrs[b]);
+            instrs.append(&mut pred_tail[b]);
+            Block {
+                instrs,
+                succs: f.blocks[b].succs.clone(),
+                preds: Vec::new(),
+            }
+        })
+        .collect();
+    let mut function = Function {
+        name: format!("{}.split", f.name),
+        blocks,
+        entry: f.entry,
+        value_count: next,
+        params: f.params.clone(),
+    };
+    function.recompute_preds();
+    debug_assert_eq!(function.validate(), Ok(()));
+    SplitFunction {
+        function,
+        origin,
+        copies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::genprog::{random_ssa_function, validate_strict_ssa, SsaConfig};
+    use crate::{interference, liveness};
+    use lra_graph::peo;
+    use rand::SeedableRng;
+
+    #[test]
+    fn splits_every_use() {
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry_block();
+        let x = b.op(e, &[]);
+        b.op(e, &[x]);
+        b.op(e, &[x]);
+        let f = b.finish();
+        let s = split_at_uses(&f);
+        assert_eq!(s.copies, 2);
+        assert_eq!(s.function.value_count, f.value_count + 2);
+        validate_strict_ssa(&s.function).expect("still strict SSA");
+        // Every split value maps back to x.
+        for v in f.value_count..s.function.value_count {
+            assert_eq!(s.origin[v as usize], x);
+        }
+    }
+
+    #[test]
+    fn phi_uses_split_in_predecessor() {
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry_block();
+        let l = b.block();
+        let r = b.block();
+        let j = b.block();
+        b.set_succs(e, &[l, r]);
+        b.set_succs(l, &[j]);
+        b.set_succs(r, &[j]);
+        let xl = b.op(l, &[]);
+        let xr = b.op(r, &[]);
+        let m = b.phi(j, &[xl, xr]);
+        b.op(j, &[m]);
+        let f = b.finish();
+        let s = split_at_uses(&f);
+        validate_strict_ssa(&s.function).expect("strict SSA");
+        // The copy for xl sits at the end of block l.
+        let last = s.function.blocks[l.index()].instrs.last().unwrap();
+        assert_eq!(last.opcode, Opcode::Copy);
+        assert_eq!(last.uses, vec![xl]);
+    }
+
+    #[test]
+    fn split_functions_stay_chordal() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..8 {
+            let f = random_ssa_function(&mut rng, &SsaConfig::default(), "f");
+            let s = split_at_uses(&f);
+            validate_strict_ssa(&s.function).expect("strict SSA");
+            let live = liveness::analyze(&s.function);
+            let g = interference::interference_graph(&s.function, &live);
+            assert!(peo::is_chordal(&g));
+        }
+    }
+
+    #[test]
+    fn splitting_cannot_raise_pressure() {
+        // Splitting only shortens live ranges, so MaxLive can only stay
+        // or drop (copies die immediately at their use).
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let cfg = SsaConfig {
+            target_instrs: 120,
+            liveness_window: 20,
+            ..SsaConfig::default()
+        };
+        let f = random_ssa_function(&mut rng, &cfg, "f");
+        let before = liveness::analyze(&f).max_live;
+        let s = split_at_uses(&f);
+        let after = liveness::analyze(&s.function).max_live;
+        assert!(
+            after <= before + 1,
+            "splitting raised MaxLive {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn existing_copies_are_not_resplit() {
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry_block();
+        let x = b.op(e, &[]);
+        let c = b.copy(e, x);
+        b.op(e, &[c]);
+        let f = b.finish();
+        let s = split_at_uses(&f);
+        // Only the final use is split; the copy's own use stays.
+        assert_eq!(s.copies, 1);
+    }
+}

@@ -1,0 +1,412 @@
+//! SSA construction: convert non-SSA functions into pruned SSA.
+//!
+//! The paper's conclusion positions layered allocation as usable "in a
+//! decoupled context for SSA programs, and as a pre-spill phase in any
+//! compiler". A JIT whose IR is not in SSA (the JikesRVM setting of
+//! §6.2) can therefore *choose* to convert, obtaining a chordal
+//! interference graph and access to the layered-optimal family instead
+//! of the `LH` approximation. This module implements that conversion:
+//!
+//! 1. **dominance frontiers** (Cytron et al.) from the dominator tree,
+//! 2. **pruned φ placement**: a φ for variable `v` is inserted at a
+//!    join only if `v` is live-in there (liveness-pruned, so no dead
+//!    φs inflate the interference graph),
+//! 3. **renaming** along a dominator-tree walk with one definition
+//!    stack per original variable.
+//!
+//! Variables that may be read before any definition (live-in at entry)
+//! become function parameters.
+
+#![allow(clippy::needless_range_loop)] // parallel arrays indexed by block id
+
+use crate::cfg::{Block, BlockId, Function, Instr, Opcode, Value};
+use crate::dom::DomTree;
+use crate::liveness;
+
+/// Computes the dominance frontier of every block.
+///
+/// `DF(b)` contains each join `j` such that `b` dominates a predecessor
+/// of `j` but not `j` itself (strictly).
+pub fn dominance_frontiers(f: &Function, dom: &DomTree) -> Vec<Vec<BlockId>> {
+    let n = f.block_count();
+    let mut df: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+    for b in f.block_ids() {
+        let preds = &f.block(b).preds;
+        if preds.len() < 2 {
+            continue;
+        }
+        let Some(idom_b) = dom.idom(b) else { continue };
+        for &p in preds {
+            if dom.idom(p).is_none() {
+                continue; // unreachable predecessor
+            }
+            let mut runner = p;
+            while runner != idom_b {
+                if !df[runner.index()].contains(&b) {
+                    df[runner.index()].push(b);
+                }
+                runner = match dom.idom(runner) {
+                    Some(d) if d != runner => d,
+                    _ => break,
+                };
+            }
+        }
+    }
+    df
+}
+
+/// The result of SSA construction.
+#[derive(Clone, Debug)]
+pub struct SsaFunction {
+    /// The converted function (strict, pruned SSA).
+    pub function: Function,
+    /// For each new value, the original variable it versions.
+    pub origin: Vec<Value>,
+    /// Number of φs inserted.
+    pub phis: usize,
+}
+
+/// Converts `f` (any function; typically non-SSA) into pruned SSA.
+///
+/// Variables live-in at entry become parameters of the new function.
+///
+/// # Panics
+///
+/// Panics if `f` fails [`Function::validate`] or contains blocks
+/// unreachable from the entry (strip those first).
+pub fn into_ssa(f: &Function) -> SsaFunction {
+    assert_eq!(f.validate(), Ok(()), "into_ssa requires a valid function");
+    let n = f.block_count();
+    let dom = DomTree::compute(f);
+    for b in f.block_ids() {
+        assert!(
+            dom.idom(b).is_some(),
+            "into_ssa requires all blocks reachable ({b} is not)"
+        );
+    }
+    let live = liveness::analyze(f);
+    let df = dominance_frontiers(f, &dom);
+    let nv = f.value_count as usize;
+
+    // Definition sites per original variable (entry counts as a def
+    // site for entry-live variables, which become parameters).
+    let entry_live = &live.live_in[f.entry.index()];
+    let mut def_blocks: Vec<Vec<BlockId>> = vec![Vec::new(); nv];
+    for b in f.block_ids() {
+        for instr in &f.blocks[b.index()].instrs {
+            if let Some(d) = instr.def {
+                if !def_blocks[d.index()].contains(&b) {
+                    def_blocks[d.index()].push(b);
+                }
+            }
+        }
+    }
+    for v in entry_live.iter() {
+        if !def_blocks[v].contains(&f.entry) {
+            def_blocks[v].push(f.entry);
+        }
+    }
+
+    // Pruned φ placement: iterated dominance frontier, filtered by
+    // liveness at the join.
+    let mut phi_vars: Vec<Vec<usize>> = vec![Vec::new(); n]; // block -> original vars
+    for v in 0..nv {
+        let mut work: Vec<BlockId> = def_blocks[v].clone();
+        let mut placed = vec![false; n];
+        let mut queued = vec![false; n];
+        for b in &work {
+            queued[b.index()] = true;
+        }
+        while let Some(b) = work.pop() {
+            for &j in &df[b.index()] {
+                if !placed[j.index()] && live.live_in[j.index()].contains(v) {
+                    placed[j.index()] = true;
+                    phi_vars[j.index()].push(v);
+                    if !queued[j.index()] {
+                        queued[j.index()] = true;
+                        work.push(j);
+                    }
+                }
+            }
+        }
+    }
+
+    // Fresh-value minting with origin tracking.
+    let mut next = 0u32;
+    let mut origin: Vec<Value> = Vec::new();
+    let mut fresh = |of: usize, origin: &mut Vec<Value>| {
+        let v = Value(next);
+        next += 1;
+        origin.push(Value(of as u32));
+        v
+    };
+
+    // Parameters for entry-live variables (pushed below the walk).
+    let mut stacks: Vec<Vec<Value>> = vec![Vec::new(); nv];
+    let mut params = Vec::new();
+    for v in entry_live.iter() {
+        let p = fresh(v, &mut origin);
+        stacks[v].push(p);
+        params.push(p);
+    }
+
+    // Pre-create every φ (def minted now; operands are self-placeholders
+    // overwritten when each incoming edge is processed during the walk).
+    let mut new_blocks: Vec<Block> = (0..n)
+        .map(|b| Block {
+            instrs: Vec::new(),
+            succs: f.blocks[b].succs.clone(),
+            preds: Vec::new(),
+        })
+        .collect();
+    let mut phi_defs: Vec<Vec<Value>> = vec![Vec::new(); n];
+    let mut phis = 0usize;
+    for b in 0..n {
+        let arity = f.blocks[b].preds.len();
+        for &v in &phi_vars[b] {
+            let d = fresh(v, &mut origin);
+            new_blocks[b]
+                .instrs
+                .push(Instr::new(Opcode::Phi, Some(d), vec![d; arity]));
+            phi_defs[b].push(d);
+            phis += 1;
+        }
+    }
+
+    // Renaming along the dominator tree (iterative DFS).
+    let mut dom_children: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+    for b in f.block_ids() {
+        if let Some(d) = dom.idom(b) {
+            if d != b {
+                dom_children[d.index()].push(b);
+            }
+        }
+    }
+    let mut exit_pushes: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+    enum Frame {
+        Enter(BlockId),
+        Exit(BlockId),
+    }
+    let mut walk = vec![Frame::Enter(f.entry)];
+    while let Some(frame) = walk.pop() {
+        match frame {
+            Frame::Enter(b) => {
+                let bi = b.index();
+                let mut pushes: Vec<usize> = Vec::new();
+
+                // φ defs become the current version of their variable.
+                for (slot, &v) in phi_vars[bi].iter().enumerate() {
+                    stacks[v].push(phi_defs[bi][slot]);
+                    pushes.push(v);
+                }
+                // Body: rename uses, version defs.
+                for instr in &f.blocks[bi].instrs {
+                    let uses: Vec<Value> = instr
+                        .uses
+                        .iter()
+                        .map(|u| {
+                            *stacks[u.index()]
+                                .last()
+                                .expect("pruned SSA: every use has a reaching definition")
+                        })
+                        .collect();
+                    let def = instr.def.map(|d| {
+                        let v = fresh(d.index(), &mut origin);
+                        stacks[d.index()].push(v);
+                        pushes.push(d.index());
+                        v
+                    });
+                    new_blocks[bi].instrs.push(Instr {
+                        opcode: instr.opcode,
+                        def,
+                        uses,
+                    });
+                }
+                // Fill successor φ operands for the edges b -> s.
+                for &s in &f.blocks[bi].succs {
+                    let si = s.index();
+                    let pred_pos = f.blocks[si]
+                        .preds
+                        .iter()
+                        .position(|&p| p == b)
+                        .expect("edge consistent with preds");
+                    for (slot, &v) in phi_vars[si].iter().enumerate() {
+                        if let Some(&top) = stacks[v].last() {
+                            new_blocks[si].instrs[slot].uses[pred_pos] = top;
+                        }
+                    }
+                }
+                exit_pushes[bi] = pushes;
+                walk.push(Frame::Exit(b));
+                for &c in dom_children[bi].iter().rev() {
+                    walk.push(Frame::Enter(c));
+                }
+            }
+            Frame::Exit(b) => {
+                for &v in exit_pushes[b.index()].iter().rev() {
+                    stacks[v].pop();
+                }
+            }
+        }
+    }
+
+    let mut function = Function {
+        name: format!("{}.ssa", f.name),
+        blocks: new_blocks,
+        entry: f.entry,
+        value_count: next,
+        params,
+    };
+    function.recompute_preds();
+    debug_assert_eq!(function.validate(), Ok(()));
+    SsaFunction {
+        function,
+        origin,
+        phis,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::genprog::{random_jit_function, validate_strict_ssa, JitConfig};
+    use crate::interference;
+    use lra_graph::peo;
+    use rand::SeedableRng;
+
+    fn function_with_edges(n: usize, edges: &[(u32, u32)]) -> Function {
+        let mut f = Function {
+            name: "t".into(),
+            blocks: (0..n).map(|_| Block::default()).collect(),
+            entry: BlockId(0),
+            value_count: 0,
+            params: vec![],
+        };
+        for &(a, b) in edges {
+            f.blocks[a as usize].succs.push(BlockId(b));
+        }
+        f.recompute_preds();
+        f
+    }
+
+    #[test]
+    fn dominance_frontier_of_diamond() {
+        let f = function_with_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let dom = DomTree::compute(&f);
+        let df = dominance_frontiers(&f, &dom);
+        assert_eq!(df[1], vec![BlockId(3)]);
+        assert_eq!(df[2], vec![BlockId(3)]);
+        assert!(df[0].is_empty());
+        assert!(df[3].is_empty());
+    }
+
+    #[test]
+    fn dominance_frontier_of_loop() {
+        // 0 -> 1 -> 2 -> 1; 1 -> 3. The header is in its own body's DF.
+        let f = function_with_edges(4, &[(0, 1), (1, 2), (2, 1), (1, 3)]);
+        let dom = DomTree::compute(&f);
+        let df = dominance_frontiers(&f, &dom);
+        assert!(df[2].contains(&BlockId(1)));
+        assert!(df[1].contains(&BlockId(1))); // header reaches itself
+    }
+
+    #[test]
+    fn converts_multiple_defs_into_phi() {
+        // var x (Value 0): defined in both arms, used at the join.
+        let mut f = function_with_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        f.value_count = 2;
+        let x = Value(0);
+        let y = Value(1);
+        f.blocks[1].instrs = vec![Instr::new(Opcode::Op, Some(x), vec![])];
+        f.blocks[2].instrs = vec![Instr::new(Opcode::Op, Some(x), vec![])];
+        f.blocks[3].instrs = vec![Instr::new(Opcode::Op, Some(y), vec![x])];
+        let ssa = into_ssa(&f);
+        assert_eq!(ssa.phis, 1);
+        validate_strict_ssa(&ssa.function).expect("strict SSA");
+        // The join's first instruction is the φ; the use reads it.
+        let join = &ssa.function.blocks[3];
+        assert!(join.instrs[0].is_phi());
+        assert_eq!(join.instrs[1].uses, vec![join.instrs[0].def.unwrap()]);
+    }
+
+    #[test]
+    fn pruned_no_phi_for_dead_variable() {
+        // x redefined in both arms but never used after the join: no φ.
+        let mut f = function_with_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        f.value_count = 1;
+        let x = Value(0);
+        f.blocks[1].instrs = vec![Instr::new(Opcode::Op, Some(x), vec![])];
+        f.blocks[2].instrs = vec![Instr::new(Opcode::Op, Some(x), vec![])];
+        let ssa = into_ssa(&f);
+        assert_eq!(ssa.phis, 0);
+    }
+
+    #[test]
+    fn loop_carried_variable_gets_header_phi() {
+        // 0: x = ..; 1 (header): use x; 2 (body): x = ..; back to 1; 3: use x.
+        let mut f = function_with_edges(4, &[(0, 1), (1, 2), (2, 1), (1, 3)]);
+        f.value_count = 2;
+        let x = Value(0);
+        f.blocks[0].instrs = vec![Instr::new(Opcode::Op, Some(x), vec![])];
+        f.blocks[1].instrs = vec![Instr::new(Opcode::Op, Some(Value(1)), vec![x])];
+        f.blocks[2].instrs = vec![Instr::new(Opcode::Op, Some(x), vec![])];
+        f.blocks[3].instrs = vec![Instr::new(Opcode::Op, None, vec![x])];
+        let ssa = into_ssa(&f);
+        validate_strict_ssa(&ssa.function).expect("strict SSA");
+        assert_eq!(ssa.phis, 1);
+        assert!(ssa.function.blocks[1].instrs[0].is_phi());
+    }
+
+    #[test]
+    fn entry_live_variables_become_params() {
+        let mut f = function_with_edges(1, &[]);
+        f.value_count = 2;
+        // Use Value(0) before any def.
+        f.blocks[0].instrs = vec![Instr::new(Opcode::Op, Some(Value(1)), vec![Value(0)])];
+        let ssa = into_ssa(&f);
+        assert_eq!(ssa.function.params.len(), 1);
+        validate_strict_ssa(&ssa.function).expect("strict SSA");
+        assert_eq!(ssa.origin[ssa.function.params[0].index()], Value(0));
+    }
+
+    #[test]
+    fn jit_functions_convert_to_chordal_ssa() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        for seed in 0..10u64 {
+            let _ = seed;
+            let f = random_jit_function(&mut rng, &JitConfig::default(), "jit");
+            assert!(validate_strict_ssa(&f).is_err(), "input should be non-SSA");
+            let ssa = into_ssa(&f);
+            validate_strict_ssa(&ssa.function).expect("conversion produces strict SSA");
+            let live = liveness::analyze(&ssa.function);
+            let g = interference::interference_graph(&ssa.function, &live);
+            assert!(peo::is_chordal(&g), "SSA interference must be chordal");
+        }
+    }
+
+    #[test]
+    fn origin_maps_every_value() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(8);
+        let f = random_jit_function(&mut rng, &JitConfig::default(), "jit");
+        let ssa = into_ssa(&f);
+        assert_eq!(ssa.origin.len(), ssa.function.value_count as usize);
+        for o in &ssa.origin {
+            assert!(o.0 < f.value_count);
+        }
+    }
+
+    #[test]
+    fn straight_line_is_renamed_without_phis() {
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry_block();
+        let x = b.op(e, &[]);
+        b.op(e, &[x]);
+        let f = b.finish();
+        let ssa = into_ssa(&f);
+        assert_eq!(ssa.phis, 0);
+        assert_eq!(ssa.function.instr_count(), f.instr_count());
+        validate_strict_ssa(&ssa.function).expect("strict SSA");
+    }
+}

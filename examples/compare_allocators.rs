@@ -1,0 +1,52 @@
+//! Sweeps the register count on one synthetic SPEC-like function and
+//! prints the spill cost of every allocator — a miniature of Figure 8.
+//!
+//! Run with: `cargo run --release --example compare_allocators`
+
+use layered_allocation::core::baselines::ChaitinBriggs;
+use layered_allocation::core::layered::Layered;
+use layered_allocation::core::pipeline::{build_instance, InstanceKind};
+use layered_allocation::core::problem::Allocator;
+use layered_allocation::core::Optimal;
+use layered_allocation::ir::genprog::{random_ssa_function, SsaConfig};
+use layered_allocation::targets::{Target, TargetKind};
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(8);
+    let config = SsaConfig {
+        target_instrs: 220,
+        max_loop_depth: 3,
+        branch_percent: 22,
+        loop_percent: 12,
+        call_percent: 6,
+        copy_percent: 0,
+        params: 4,
+        liveness_window: 24,
+    };
+    let function = random_ssa_function(&mut rng, &config, "spec-like::hot");
+    let target = Target::new(TargetKind::St231);
+    let instance = build_instance(&function, &target, InstanceKind::LinearIntervals);
+
+    println!(
+        "function with {} values, MaxLive = {}, total spill weight = {}",
+        instance.vertex_count(),
+        instance.max_live(),
+        instance.total_weight(),
+    );
+    println!();
+    println!(
+        "{:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "registers", "GC", "NL", "FPL", "BL", "BFPL", "Optimal"
+    );
+
+    for r in [1u32, 2, 4, 8, 16, 32] {
+        let gc = ChaitinBriggs::new().allocate(&instance, r).spill_cost;
+        let nl = Layered::nl().allocate(&instance, r).spill_cost;
+        let fpl = Layered::fpl().allocate(&instance, r).spill_cost;
+        let bl = Layered::bl().allocate(&instance, r).spill_cost;
+        let bfpl = Layered::bfpl().allocate(&instance, r).spill_cost;
+        let opt = Optimal::new().allocate(&instance, r).spill_cost;
+        println!("{r:>10} {gc:>8} {nl:>8} {fpl:>8} {bl:>8} {bfpl:>8} {opt:>8}");
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: allocate registers for a small interference graph.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use layered_allocation::core::layered::Layered;
+use layered_allocation::core::problem::{Allocator, Instance};
+use layered_allocation::core::{verify, Optimal};
+use layered_allocation::graph::{GraphBuilder, WeightedGraph};
+
+fn main() {
+    // The weighted chordal graph of Figure 5 of the paper:
+    // a=0, b=1, c=2, d=3, e=4, f=5, g=6.
+    let names = ["a", "b", "c", "d", "e", "f", "g"];
+    let mut b = GraphBuilder::new(7);
+    for &(u, v) in &[
+        (0, 3),
+        (0, 5),
+        (3, 5),
+        (3, 4),
+        (4, 5),
+        (2, 3),
+        (2, 4),
+        (1, 2),
+        (1, 6),
+        (2, 6),
+    ] {
+        b.add_edge(u, v);
+    }
+    let weights = vec![1, 2, 2, 5, 2, 6, 1];
+    let instance = Instance::from_weighted_graph(WeightedGraph::new(b.build(), weights));
+
+    println!("interference graph: {:?}", instance.graph());
+    println!("MaxLive = {}", instance.max_live());
+    println!();
+
+    let registers = 2;
+    for allocator in [Layered::nl(), Layered::bl(), Layered::fpl(), Layered::bfpl()] {
+        let result = allocator.allocate(&instance, registers);
+        let allocated: Vec<&str> = result.allocated.iter().map(|v| names[v]).collect();
+        let feasible = verify::check(&instance, &result, registers).is_feasible();
+        println!(
+            "{:>5}: allocated {{{}}}, spill cost {}, feasible = {}",
+            allocator.name(),
+            allocated.join(", "),
+            result.spill_cost,
+            feasible,
+        );
+    }
+
+    let opt = Optimal::new().allocate(&instance, registers);
+    println!(
+        "  opt: spill cost {} (the certified optimum)",
+        opt.spill_cost
+    );
+}

@@ -1,0 +1,35 @@
+//! Facade crate for the layered-allocation workspace.
+//!
+//! Re-exports the member crates under short names so examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`graph`] — chordal-graph machinery (PEO, Frank's stable set,
+//!   cliques, clique trees, generators),
+//! * [`ir`] — the SSA compiler substrate (CFG, dominators, liveness,
+//!   interference, spill costs, spill code, program generators),
+//! * [`targets`] — ST231 and ARM Cortex-A8 cost models,
+//! * [`core`] — the allocators (`NL`/`BL`/`FPL`/`BFPL`/`LH`), the
+//!   baselines (`GC`, `DLS`, `BLS`) and the exact `Optimal` solvers,
+//! * [`mod@bench`] — benchmark suites and the figure runners.
+//!
+//! # Example
+//!
+//! ```
+//! use layered_allocation::core::layered::Layered;
+//! use layered_allocation::core::problem::{Allocator, Instance};
+//! use layered_allocation::graph::{Graph, WeightedGraph};
+//!
+//! let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+//! let inst = Instance::from_weighted_graph(WeightedGraph::new(g, vec![1, 5, 1]));
+//! let a = Layered::bfpl().allocate(&inst, 1);
+//! assert_eq!(a.spill_cost, 2); // keep the heavy middle vertex
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use lra_bench as bench;
+pub use lra_core as core;
+pub use lra_graph as graph;
+pub use lra_ir as ir;
+pub use lra_targets as targets;
