@@ -38,9 +38,7 @@ fn bench_chordal_allocators(c: &mut Criterion) {
     let r = 8;
     let mut group = c.benchmark_group("chordal_400v_r8");
     group.sample_size(20);
-    group.bench_function("GC", |b| {
-        b.iter(|| ChaitinBriggs::new().allocate(&inst, r))
-    });
+    group.bench_function("GC", |b| b.iter(|| ChaitinBriggs::new().allocate(&inst, r)));
     group.bench_function("NL", |b| b.iter(|| Layered::nl().allocate(&inst, r)));
     group.bench_function("BL", |b| b.iter(|| Layered::bl().allocate(&inst, r)));
     group.bench_function("FPL", |b| b.iter(|| Layered::fpl().allocate(&inst, r)));

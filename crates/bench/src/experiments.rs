@@ -8,10 +8,12 @@
 
 use crate::stats::{self, FiveNum};
 use crate::suites::Workload;
-use lra_core::baselines::{BeladyLinearScan, ChaitinBriggs, LinearScan};
+use lra_core::driver::AllocationPipeline;
 use lra_core::layered::Layered;
+use lra_core::pipeline::InstanceKind;
 use lra_core::problem::{Allocator, Instance};
-use lra_core::{LayeredHeuristic, Optimal};
+use lra_core::registry::{AllocatorRegistry, CHORDAL_FIGURE_SET, JVM_FIGURE_SET};
+use lra_core::Optimal;
 use std::collections::BTreeMap;
 
 /// The register counts of Figures 8–13.
@@ -19,79 +21,88 @@ pub const CHORDAL_REGISTER_COUNTS: [u32; 6] = [1, 2, 4, 8, 16, 32];
 /// The register counts of Figure 14.
 pub const JVM_REGISTER_COUNTS: [u32; 8] = [2, 4, 6, 8, 10, 12, 14, 16];
 
-/// Which instance an algorithm consumes.
-enum View {
-    Graph,
-    LinearScan,
-}
-
-/// Cost function of one algorithm column.
-type RunFn = Box<dyn Fn(&Instance, u32) -> u64>;
-
-/// An algorithm column of a figure.
+/// An algorithm column of a figure, resolved from the
+/// [`AllocatorRegistry`] — the single source of truth for which
+/// allocators exist and what instance view each one needs.
 struct Column {
     name: &'static str,
-    run: RunFn,
-    view: View,
+    needs_intervals: bool,
+}
+
+fn columns(names: &[&str]) -> Vec<Column> {
+    names
+        .iter()
+        .map(|n| {
+            let spec = AllocatorRegistry::spec(n).expect("figure allocator is registered");
+            Column {
+                name: spec.name,
+                needs_intervals: spec.needs_intervals,
+            }
+        })
+        .collect()
 }
 
 fn chordal_columns() -> Vec<Column> {
-    fn col(name: &'static str, a: impl Allocator + 'static) -> Column {
-        Column {
-            name,
-            run: Box::new(move |inst, r| a.allocate(inst, r).spill_cost),
-            view: View::Graph,
-        }
-    }
-    vec![
-        col("GC", ChaitinBriggs::new()),
-        col("NL", Layered::nl()),
-        col("FPL", Layered::fpl()),
-        col("BL", Layered::bl()),
-        col("BFPL", Layered::bfpl()),
-        col("Optimal", Optimal::new()),
-    ]
+    columns(&CHORDAL_FIGURE_SET)
 }
 
 fn jvm_columns() -> Vec<Column> {
-    vec![
-        Column {
-            name: "DLS",
-            run: Box::new(|inst, r| LinearScan::new().allocate(inst, r).spill_cost),
-            view: View::LinearScan,
-        },
-        Column {
-            name: "BLS",
-            run: Box::new(|inst, r| BeladyLinearScan::new().allocate(inst, r).spill_cost),
-            view: View::LinearScan,
-        },
-        Column {
-            name: "GC",
-            run: Box::new(|inst, r| ChaitinBriggs::new().allocate(inst, r).spill_cost),
-            view: View::Graph,
-        },
-        Column {
-            name: "LH",
-            run: Box::new(|inst, r| LayeredHeuristic::new().allocate(inst, r).spill_cost),
-            view: View::Graph,
-        },
-        Column {
-            name: "Optimal",
-            run: Box::new(|inst, r| Optimal::new().allocate(inst, r).spill_cost),
-            view: View::Graph,
-        },
-    ]
+    columns(&JVM_FIGURE_SET)
+}
+
+/// Drives the full [`AllocationPipeline`] (allocate → spill-code
+/// rewrite → assign → verify) on one workload and returns the paper's
+/// metric: the first-round spill-everywhere allocation cost.
+fn pipeline_cost(w: &Workload, col: &Column, r: u32) -> u64 {
+    // Linear scans must see intervals; everyone else uses the suite's
+    // native view (interval for the SSA suites, precise for JVM).
+    let kind = if col.needs_intervals {
+        InstanceKind::LinearIntervals
+    } else {
+        w.kind
+    };
+    let report = AllocationPipeline::new(w.target)
+        .allocator(col.name)
+        .instance_kind(kind)
+        .registers(r)
+        .max_rounds(1)
+        .run(&w.ir)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", col.name, w.function));
+    debug_assert!(
+        report.verdict.is_feasible(),
+        "{} produced an infeasible allocation on {}",
+        col.name,
+        w.function
+    );
+    report.first_round_spill_cost()
 }
 
 /// Per-program absolute costs for one algorithm at one register count.
 fn per_program_costs(workloads: &[Workload], col: &Column, r: u32) -> BTreeMap<&'static str, u64> {
     let mut acc: BTreeMap<&'static str, u64> = BTreeMap::new();
     for w in workloads {
-        let inst = match col.view {
-            View::Graph => &w.instance,
-            View::LinearScan => w.linear_scan_instance(),
+        *acc.entry(w.program).or_insert(0) += pipeline_cost(w, col, r);
+    }
+    acc
+}
+
+/// Per-program costs for a custom instance-level cost function — used
+/// by the parameterised studies (ablation, threshold sweeps) whose
+/// configured allocators are not registry entries.
+fn per_program_costs_with(
+    workloads: &[Workload],
+    linear_scan_view: bool,
+    r: u32,
+    run: impl Fn(&Instance, u32) -> u64,
+) -> BTreeMap<&'static str, u64> {
+    let mut acc: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for w in workloads {
+        let inst = if linear_scan_view {
+            w.linear_scan_instance()
+        } else {
+            &w.instance
         };
-        *acc.entry(w.program).or_insert(0) += (col.run)(inst, r);
+        *acc.entry(w.program).or_insert(0) += run(inst, r);
     }
     acc
 }
@@ -174,7 +185,10 @@ pub struct DistributionRow {
 /// count (Optimal excluded — it is 1.0 by definition).
 pub fn distribution_figure(workloads: &[Workload], rs: &[u32]) -> Vec<DistributionRow> {
     let cols = chordal_columns();
-    let opt_idx = cols.iter().position(|c| c.name == "Optimal").expect("Optimal present");
+    let opt_idx = cols
+        .iter()
+        .position(|c| c.name == "Optimal")
+        .expect("Optimal present");
     let mut out = Vec::new();
     for &r in rs {
         let per_alg: Vec<BTreeMap<&'static str, u64>> = cols
@@ -223,7 +237,10 @@ pub struct PerBenchmarkRow {
 /// algorithm that also spills nothing.
 pub fn jvm_per_benchmark_figure(workloads: &[Workload], r: u32) -> Vec<PerBenchmarkRow> {
     let cols = jvm_columns();
-    let opt_idx = cols.iter().position(|c| c.name == "Optimal").expect("Optimal present");
+    let opt_idx = cols
+        .iter()
+        .position(|c| c.name == "Optimal")
+        .expect("Optimal present");
     let per_alg: Vec<BTreeMap<&'static str, u64>> = cols
         .iter()
         .map(|c| per_program_costs(workloads, c, r))
@@ -271,13 +288,14 @@ pub struct AblationRow {
 /// step), quantifying what each §4 improvement buys and what the
 /// `step ≥ 2` dynamic program costs.
 pub fn ablation_figure(workloads: &[Workload], rs: &[u32]) -> Vec<AblationRow> {
-    let opt = Column {
-        name: "Optimal",
-        run: Box::new(|inst, r| Optimal::new().allocate(inst, r).spill_cost),
-        view: View::Graph,
-    };
-    let opt_costs: Vec<BTreeMap<&'static str, u64>> =
-        rs.iter().map(|&r| per_program_costs(workloads, &opt, r)).collect();
+    let opt_costs: Vec<BTreeMap<&'static str, u64>> = rs
+        .iter()
+        .map(|&r| {
+            per_program_costs_with(workloads, false, r, |inst, rr| {
+                Optimal::new().allocate(inst, rr).spill_cost
+            })
+        })
+        .collect();
 
     let mut configs: Vec<(String, Layered)> = Vec::new();
     for step in [1u32, 2] {
@@ -300,12 +318,9 @@ pub fn ablation_figure(workloads: &[Workload], rs: &[u32]) -> Vec<AblationRow> {
                 .iter()
                 .enumerate()
                 .map(|(ri, &r)| {
-                    let col = Column {
-                        name: "layered",
-                        run: Box::new(move |inst, rr| alg.allocate(inst, rr).spill_cost),
-                        view: View::Graph,
-                    };
-                    let costs = per_program_costs(workloads, &col, r);
+                    let costs = per_program_costs_with(workloads, false, r, |inst, rr| {
+                        alg.allocate(inst, rr).spill_cost
+                    });
                     let ratios: Vec<f64> = opt_costs[ri]
                         .iter()
                         .filter(|&(_, &c)| c > 0)
@@ -409,27 +424,20 @@ pub fn spill_set_inclusion_study(workloads: &[Workload], rs: &[u32]) -> Inclusio
 /// cost at each setting (threshold 0 degenerates to pure furthest-first
 /// only among exact cost ties; large thresholds approach pure Belady).
 pub fn bls_threshold_sweep(workloads: &[Workload], r: u32, thresholds: &[u32]) -> Vec<(u32, f64)> {
-    let opt = Column {
-        name: "Optimal",
-        run: Box::new(|inst, rr| Optimal::new().allocate(inst, rr).spill_cost),
-        view: View::Graph,
-    };
-    let opt_costs = per_program_costs(workloads, &opt, r);
+    use lra_core::baselines::BeladyLinearScan;
+    let opt_costs = per_program_costs_with(workloads, false, r, |inst, rr| {
+        Optimal::new().allocate(inst, rr).spill_cost
+    });
     thresholds
         .iter()
         .map(|&t| {
-            let col = Column {
-                name: "BLS",
-                run: Box::new(move |inst, rr| {
-                    BeladyLinearScan {
-                        threshold_percent: t,
-                    }
-                    .allocate(inst, rr)
-                    .spill_cost
-                }),
-                view: View::LinearScan,
-            };
-            let costs = per_program_costs(workloads, &col, r);
+            let costs = per_program_costs_with(workloads, true, r, |inst, rr| {
+                BeladyLinearScan {
+                    threshold_percent: t,
+                }
+                .allocate(inst, rr)
+                .spill_cost
+            });
             let ratios: Vec<f64> = opt_costs
                 .iter()
                 .filter(|&(_, &c)| c > 0)
@@ -542,10 +550,10 @@ pub fn ssa_conversion_study(
     target: &lra_targets::Target,
     rs: &[u32],
 ) -> Vec<SsaConversionRow> {
-    use lra_core::pipeline::{build_instance, InstanceKind};
+    use lra_core::pipeline::build_instance;
+    use lra_core::LayeredHeuristic;
     use lra_ir::ssa::into_ssa;
-    let converted: Vec<lra_ir::Function> =
-        functions.iter().map(|f| into_ssa(f).function).collect();
+    let converted: Vec<lra_ir::Function> = functions.iter().map(|f| into_ssa(f).function).collect();
     rs.iter()
         .map(|&r| {
             let mut row = SsaConversionRow {
@@ -611,12 +619,18 @@ pub fn render_suite_stats(title: &str, workloads: &[Workload]) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "# {title}");
     let n = workloads.len();
-    let verts: Vec<f64> = workloads.iter().map(|w| w.instance.vertex_count() as f64).collect();
+    let verts: Vec<f64> = workloads
+        .iter()
+        .map(|w| w.instance.vertex_count() as f64)
+        .collect();
     let edges: Vec<f64> = workloads
         .iter()
         .map(|w| w.instance.graph().edge_count() as f64)
         .collect();
-    let pressure: Vec<f64> = workloads.iter().map(|w| w.instance.max_live() as f64).collect();
+    let pressure: Vec<f64> = workloads
+        .iter()
+        .map(|w| w.instance.max_live() as f64)
+        .collect();
     let chordal = workloads.iter().filter(|w| w.instance.is_chordal()).count();
     let _ = writeln!(s, "functions: {n} ({chordal} chordal)");
     let _ = writeln!(
@@ -714,7 +728,10 @@ pub fn mean_rows_to_csv(rows: &[MeanRow]) -> String {
     let mut s = String::from("registers,algorithm,mean_normalized_cost,programs\n");
     for row in rows {
         for (name, v) in &row.values {
-            s.push_str(&format!("{},{},{:.6},{}\n", row.registers, name, v, row.programs));
+            s.push_str(&format!(
+                "{},{},{:.6},{}\n",
+                row.registers, name, v, row.programs
+            ));
         }
     }
     s

@@ -18,9 +18,59 @@ use std::io::Write as _;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lra-bench <fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablation|inclusion|bls-sweep|split|ssa|stats|all> [--seed N]"
+        "usage: lra-bench <fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablation|inclusion|bls-sweep|split|ssa|stats|pipeline|all> [--seed N]"
     );
     std::process::exit(2)
+}
+
+/// `pipeline`: run every registered allocator end to end (allocate →
+/// spill-code rewrite → reanalyse → assign → verify) on one sample
+/// function and print the report columns.
+fn run_pipeline_demo(seed: u64) {
+    use lra_core::driver::AllocationPipeline;
+    use lra_core::registry::AllocatorRegistry;
+    use lra_ir::genprog::{random_ssa_function, SsaConfig};
+    use lra_targets::{Target, TargetKind};
+    use rand::SeedableRng as _;
+
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let cfg = SsaConfig {
+        target_instrs: 120,
+        liveness_window: 16,
+        ..SsaConfig::default()
+    };
+    let f = random_ssa_function(&mut rng, &cfg, "demo::kernel");
+    let target = Target::new(TargetKind::St231);
+    let registers = 6;
+    println!(
+        "# AllocationPipeline on {} ({} values), {target}, R = {registers}",
+        f.name, f.value_count
+    );
+    println!(
+        "{:>8} {:>7} {:>11} {:>7} {:>7} {:>7} {:>9} {:>9}",
+        "alloc", "rounds", "spill cost", "stores", "loads", "live", "converged", "verified"
+    );
+    for spec in AllocatorRegistry::specs() {
+        match AllocationPipeline::new(target)
+            .allocator(spec.name)
+            .instance_kind(spec.default_kind())
+            .registers(registers)
+            .run(&f)
+        {
+            Ok(report) => println!(
+                "{:>8} {:>7} {:>11} {:>7} {:>7} {:>7} {:>9} {:>9}",
+                report.allocator,
+                report.rounds,
+                report.spill_cost,
+                report.stores,
+                report.loads,
+                format!("{}->{}", report.max_live_before, report.max_live_after),
+                report.converged,
+                report.verdict.is_feasible(),
+            ),
+            Err(e) => println!("{:>8} failed: {e}", spec.name),
+        }
+    }
 }
 
 fn save_csv(name: &str, contents: &str) {
@@ -51,8 +101,21 @@ fn main() {
                     .unwrap_or_else(|| usage());
             }
             "all" => which.extend([
-                "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-                "ablation", "inclusion", "bls-sweep", "split", "ssa", "stats",
+                "fig8",
+                "fig9",
+                "fig10",
+                "fig11",
+                "fig12",
+                "fig13",
+                "fig14",
+                "fig15",
+                "ablation",
+                "inclusion",
+                "bls-sweep",
+                "split",
+                "ssa",
+                "stats",
+                "pipeline",
             ]),
             "fig8" => which.push("fig8"),
             "fig9" => which.push("fig9"),
@@ -68,6 +131,7 @@ fn main() {
             "split" => which.push("split"),
             "ssa" => which.push("ssa"),
             "stats" => which.push("stats"),
+            "pipeline" => which.push("pipeline"),
             _ => usage(),
         }
     }
@@ -79,9 +143,11 @@ fn main() {
     let eembc: Option<Vec<suites::Workload>> =
         needs(&["fig9", "fig12", "stats"]).then(|| suites::eembc(seed));
     let lao: Option<Vec<suites::Workload>> =
-        needs(&["fig10", "fig13", "ablation", "inclusion", "stats"]).then(|| suites::lao_kernels(seed));
+        needs(&["fig10", "fig13", "ablation", "inclusion", "stats"])
+            .then(|| suites::lao_kernels(seed));
     let jvm: Option<Vec<suites::Workload>> =
-        needs(&["fig14", "fig15", "bls-sweep", "inclusion", "stats"]).then(|| suites::specjvm98(seed));
+        needs(&["fig14", "fig15", "bls-sweep", "inclusion", "stats"])
+            .then(|| suites::specjvm98(seed));
     let get = |name: &str| -> &[suites::Workload] {
         match name {
             "spec" => spec.as_deref().expect("suite generated"),
@@ -129,9 +195,18 @@ fn main() {
             }
             "fig11" | "fig12" | "fig13" => {
                 let (suite, title) = match f {
-                    "fig11" => ("spec", "Figure 11: distribution over SPEC CPU2000int programs (ST231)"),
-                    "fig12" => ("eembc", "Figure 12: distribution over EEMBC programs (ST231)"),
-                    _ => ("lao", "Figure 13: distribution over lao-kernels programs (ARMv7)"),
+                    "fig11" => (
+                        "spec",
+                        "Figure 11: distribution over SPEC CPU2000int programs (ST231)",
+                    ),
+                    "fig12" => (
+                        "eembc",
+                        "Figure 12: distribution over EEMBC programs (ST231)",
+                    ),
+                    _ => (
+                        "lao",
+                        "Figure 13: distribution over lao-kernels programs (ARMv7)",
+                    ),
                 };
                 let rows = distribution_figure(get(suite), &CHORDAL_REGISTER_COUNTS);
                 print!("{}", experiments::render_distribution_table(title, &rows));
@@ -173,7 +248,11 @@ fn main() {
                 println!("# Spill-set inclusion study (§2.3): existence of inclusion-monotone optimal chains");
                 for (label, suite, rs) in [
                     ("lao-kernels, R = 1..8", "lao", vec![1u32, 2, 3, 4, 6, 8]),
-                    ("specjvm98 (interval view), R = 2..16", "jvm", vec![2, 4, 6, 8, 10, 12, 14, 16]),
+                    (
+                        "specjvm98 (interval view), R = 2..16",
+                        "jvm",
+                        vec![2, 4, 6, 8, 10, 12, 14, 16],
+                    ),
                 ] {
                     let s = experiments::spill_set_inclusion_study(get(suite), &rs);
                     println!(
@@ -188,7 +267,8 @@ fn main() {
                 let ws = get("jvm");
                 println!("# BLS threshold sweep, SPEC JVM98 at R = 6 (mean normalised cost)");
                 println!("{:>10} {:>8}", "threshold", "cost");
-                for (t, v) in experiments::bls_threshold_sweep(ws, 6, &[0, 5, 10, 25, 50, 100, 400]) {
+                for (t, v) in experiments::bls_threshold_sweep(ws, 6, &[0, 5, 10, 25, 50, 100, 400])
+                {
                     println!("{t:>9}% {v:>8.3}");
                 }
             }
@@ -216,6 +296,7 @@ fn main() {
                     )
                 );
             }
+            "pipeline" => run_pipeline_demo(seed),
             "stats" => {
                 for (title, suite) in [
                     ("SPEC CPU2000int workload shape", "spec"),

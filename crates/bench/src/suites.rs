@@ -28,6 +28,12 @@ use rand_chacha::ChaCha8Rng;
 
 /// One function-level allocation problem, tagged with its suite and
 /// program (benchmark application) names.
+///
+/// A workload carries both the raw IR function (so the experiment
+/// runners can drive the full [`lra_core::AllocationPipeline`] on it)
+/// and the prebuilt instances (for the studies that operate on the
+/// instance level, such as the inclusion study and the suite-shape
+/// stats).
 #[derive(Clone, Debug)]
 pub struct Workload {
     /// Suite identifier (`spec2000int`, `eembc`, …).
@@ -36,6 +42,12 @@ pub struct Workload {
     pub program: &'static str,
     /// Function name.
     pub function: String,
+    /// The generated IR function the instances were built from.
+    pub ir: lra_ir::Function,
+    /// Cost-model target of this suite.
+    pub target: Target,
+    /// How [`Workload::instance`] was built from [`Workload::ir`].
+    pub kind: InstanceKind,
     /// The allocation instance the graph-based allocators solve.
     pub instance: Instance,
     /// Interval view for the linear-scan baselines (JVM suite only; the
@@ -70,7 +82,15 @@ pub const LAO_KERNELS_PROGRAMS: [&str; 12] = [
 
 /// The 9 SPEC JVM98 benchmarks of Figure 15, in the paper's order.
 pub const SPECJVM98_PROGRAMS: [&str; 9] = [
-    "check", "compress", "jess", "raytrace", "db", "javac", "mpegaudio", "mtrt", "jack",
+    "check",
+    "compress",
+    "jess",
+    "raytrace",
+    "db",
+    "javac",
+    "mpegaudio",
+    "mtrt",
+    "jack",
 ];
 
 fn mix(seed: u64, salt: &str, k: u64) -> ChaCha8Rng {
@@ -105,7 +125,10 @@ pub fn spec2000int(seed: u64) -> Vec<Workload> {
             out.push(Workload {
                 suite: "spec2000int",
                 program,
-                function: f.name,
+                function: f.name.clone(),
+                ir: f,
+                target,
+                kind: InstanceKind::LinearIntervals,
                 instance,
                 interval_instance: None,
             });
@@ -136,7 +159,10 @@ pub fn eembc(seed: u64) -> Vec<Workload> {
             out.push(Workload {
                 suite: "eembc",
                 program,
-                function: f.name,
+                function: f.name.clone(),
+                ir: f,
+                target,
+                kind: InstanceKind::LinearIntervals,
                 instance,
                 interval_instance: None,
             });
@@ -168,7 +194,10 @@ pub fn lao_kernels(seed: u64) -> Vec<Workload> {
             out.push(Workload {
                 suite: "lao-kernels",
                 program,
-                function: f.name,
+                function: f.name.clone(),
+                ir: f,
+                target,
+                kind: InstanceKind::LinearIntervals,
                 instance,
                 interval_instance: None,
             });
@@ -177,50 +206,18 @@ pub fn lao_kernels(seed: u64) -> Vec<Workload> {
     out
 }
 
-/// The raw lao-kernels functions (same generator and seeds as
-/// [`lao_kernels`]) for studies that need to re-transform the IR, such
-/// as the live-range-splitting experiment.
+/// The raw lao-kernels functions (the [`lao_kernels`] workloads minus
+/// the instances) for studies that need to re-transform the IR, such as
+/// the live-range-splitting experiment.
 pub fn lao_kernel_functions(seed: u64) -> Vec<lra_ir::Function> {
-    let mut out = Vec::new();
-    for program in LAO_KERNELS_PROGRAMS {
-        for k in 0..2u64 {
-            let mut rng = mix(seed, program, k);
-            let cfg = SsaConfig {
-                target_instrs: rng.gen_range(35..=90),
-                max_loop_depth: 2,
-                branch_percent: 10,
-                loop_percent: 24,
-                call_percent: 1,
-                copy_percent: 0,
-                params: rng.gen_range(2..=4),
-                liveness_window: rng.gen_range(8..=20),
-            };
-            out.push(random_ssa_function(&mut rng, &cfg, format!("{program}::k{k}")));
-        }
-    }
-    out
+    lao_kernels(seed).into_iter().map(|w| w.ir).collect()
 }
 
-/// The raw SPEC JVM98 methods (same generator and seeds as
-/// [`specjvm98`]) for studies that re-transform the IR, such as the
+/// The raw SPEC JVM98 methods (the [`specjvm98`] workloads minus the
+/// instances) for studies that re-transform the IR, such as the
 /// SSA-conversion experiment.
 pub fn specjvm98_functions(seed: u64) -> Vec<lra_ir::Function> {
-    let mut out = Vec::new();
-    for program in SPECJVM98_PROGRAMS {
-        for k in 0..6u64 {
-            let mut rng = mix(seed, program, k);
-            let cfg = JitConfig {
-                vars: rng.gen_range(16..=30),
-                blocks: rng.gen_range(7..=14),
-                instrs_per_block: rng.gen_range(4..=8),
-                cross_percent: 35,
-                back_percent: 25,
-                call_percent: 8,
-            };
-            out.push(random_jit_function(&mut rng, &cfg, format!("{program}::m{k}")));
-        }
-    }
-    out
+    specjvm98(seed).into_iter().map(|w| w.ir).collect()
 }
 
 /// SPEC JVM98 through a JikesRVM-style non-SSA JIT: non-chordal precise
@@ -248,7 +245,10 @@ pub fn specjvm98(seed: u64) -> Vec<Workload> {
             out.push(Workload {
                 suite: "specjvm98",
                 program,
-                function: f.name,
+                function: f.name.clone(),
+                ir: f,
+                target,
+                kind: InstanceKind::PreciseGraph,
                 instance,
                 interval_instance: Some(interval_instance),
             });
@@ -286,7 +286,10 @@ mod tests {
                 x.instance.weighted_graph().weights(),
                 y.instance.weighted_graph().weights()
             );
-            assert_eq!(x.instance.graph().edge_count(), y.instance.graph().edge_count());
+            assert_eq!(
+                x.instance.graph().edge_count(),
+                y.instance.graph().edge_count()
+            );
         }
     }
 
@@ -305,8 +308,8 @@ mod tests {
         let ws = spec2000int(1);
         let max_pressure = ws.iter().map(|w| w.instance.max_live()).max().unwrap();
         assert!(max_pressure > 16, "peak MaxLive {max_pressure} too low");
-        let mean: f64 = ws.iter().map(|w| w.instance.max_live() as f64).sum::<f64>()
-            / ws.len() as f64;
+        let mean: f64 =
+            ws.iter().map(|w| w.instance.max_live() as f64).sum::<f64>() / ws.len() as f64;
         assert!(mean > 6.0, "mean MaxLive {mean:.1} too low");
     }
 

@@ -18,6 +18,22 @@ pub struct Assignment {
 }
 
 impl Assignment {
+    /// Wraps a per-variable register vector (`None` = spilled). Used by
+    /// the pipeline driver to expand witness colourings; callers should
+    /// normally obtain assignments from [`assign`].
+    pub fn from_registers(regs: Vec<Option<u32>>) -> Self {
+        Assignment { regs }
+    }
+
+    /// Extends the assignment with `None` entries up to `n` variables
+    /// (no-op if it already covers `n`).
+    pub fn pad_to(mut self, n: usize) -> Self {
+        if self.regs.len() < n {
+            self.regs.resize(n, None);
+        }
+        self
+    }
+
     /// The register of variable `v`, or `None` if spilled.
     pub fn register_of(&self, v: usize) -> Option<u32> {
         self.regs.get(v).copied().flatten()

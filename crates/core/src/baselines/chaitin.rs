@@ -180,7 +180,16 @@ mod tests {
     fn always_feasible_on_random_like_graph() {
         let g = Graph::from_edges(
             6,
-            &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (3, 5), (1, 4)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+                (1, 4),
+            ],
         );
         let inst = instance(g, vec![4, 7, 2, 9, 1, 3]);
         for r in 1..=4 {

@@ -139,7 +139,11 @@ impl Allocator for BeladyLinearScan {
     ///
     /// Panics if the instance carries no live intervals.
     fn allocate(&self, instance: &Instance, r: u32) -> Allocation {
-        scan(instance, r, Victim::FurthestWithinThreshold(self.threshold_percent))
+        scan(
+            instance,
+            r,
+            Victim::FurthestWithinThreshold(self.threshold_percent),
+        )
     }
 }
 
@@ -156,7 +160,11 @@ mod tests {
     #[test]
     fn no_overflow_allocates_everything() {
         let inst = instance(
-            vec![Interval::new(0, 4), Interval::new(5, 9), Interval::new(10, 12)],
+            vec![
+                Interval::new(0, 4),
+                Interval::new(5, 9),
+                Interval::new(10, 12),
+            ],
             vec![1, 2, 3],
         );
         let a = LinearScan::new().allocate(&inst, 1);
@@ -168,7 +176,11 @@ mod tests {
     fn ls_spills_cheapest() {
         // Three overlapping intervals, one register.
         let inst = instance(
-            vec![Interval::new(0, 10), Interval::new(1, 9), Interval::new(2, 8)],
+            vec![
+                Interval::new(0, 10),
+                Interval::new(1, 9),
+                Interval::new(2, 8),
+            ],
             vec![5, 1, 7],
         );
         let a = LinearScan::new().allocate(&inst, 1);
@@ -184,7 +196,11 @@ mod tests {
     fn bls_prefers_furthest_among_equal_costs() {
         // Equal costs: Belady spills the interval reaching furthest.
         let inst = instance(
-            vec![Interval::new(0, 20), Interval::new(1, 5), Interval::new(2, 6)],
+            vec![
+                Interval::new(0, 20),
+                Interval::new(1, 5),
+                Interval::new(2, 6),
+            ],
             vec![4, 4, 4],
         );
         let bls = BeladyLinearScan::new().allocate(&inst, 1);
@@ -201,7 +217,11 @@ mod tests {
         // Interval 0 reaches furthest but is far more expensive than
         // the threshold band, so BLS must not choose it.
         let inst = instance(
-            vec![Interval::new(0, 20), Interval::new(1, 5), Interval::new(2, 6)],
+            vec![
+                Interval::new(0, 20),
+                Interval::new(1, 5),
+                Interval::new(2, 6),
+            ],
             vec![100, 4, 4],
         );
         let a = BeladyLinearScan::new().allocate(&inst, 1);

@@ -194,9 +194,7 @@ pub fn conservative_coalesce(instance: &Instance, affinities: &Affinities, r: u3
         let significant = neighbors
             .iter()
             .filter(|&&x| {
-                !members[ru].contains(&x)
-                    && !members[rv].contains(&x)
-                    && g.degree(x) >= r as usize
+                !members[ru].contains(&x) && !members[rv].contains(&x) && g.degree(x) >= r as usize
             })
             .count();
         significant < r as usize
@@ -326,7 +324,11 @@ mod tests {
             let r = inst.max_live() as u32; // everything colourable
             let mut aff = Affinities::new();
             for _ in 0..12 {
-                aff.add(rng.gen_range(0..24), rng.gen_range(0..24), rng.gen_range(1..10));
+                aff.add(
+                    rng.gen_range(0..24),
+                    rng.gen_range(0..24),
+                    rng.gen_range(1..10),
+                );
             }
             let c = conservative_coalesce(&inst, &aff, r);
             let all = lra_graph::BitSet::full(c.instance.vertex_count());

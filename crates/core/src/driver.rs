@@ -1,0 +1,600 @@
+//! The end-to-end allocation pipeline.
+//!
+//! [`AllocationPipeline`] orchestrates the full decoupled-allocation
+//! flow of the paper on an [`lra_ir::Function`]:
+//!
+//! 1. **analysis** — liveness, loop frequencies, spill costs and the
+//!    interference instance ([`crate::pipeline::build_instance`]),
+//! 2. **allocation** — a registry-selected allocator picks the variables
+//!    kept in registers (optionally on a coalesced quotient graph),
+//! 3. **spill-code rewriting** — stores/reloads are inserted for the
+//!    spilled set ([`lra_ir::spill_code`]),
+//! 4. **re-analysis** — the rewritten function is re-analysed and
+//!    re-allocated until no further spilling is needed (the reloads of
+//!    §4.3 carry residual pressure, so one round is not always enough),
+//! 5. **assignment + verification** — concrete registers are assigned
+//!    and the result is checked ([`crate::verify`]).
+//!
+//! The pipeline is builder-configured and returns an
+//! [`AllocatedFunction`] report with everything a client (or a test)
+//! wants to know: cumulative and per-round spill costs, the spilled
+//! set, inserted load/store counts, the register assignment and the
+//! verification verdict.
+//!
+//! # Example
+//!
+//! ```
+//! use lra_core::driver::AllocationPipeline;
+//! use lra_core::pipeline::InstanceKind;
+//! use lra_ir::builder::FunctionBuilder;
+//! use lra_targets::{Target, TargetKind};
+//!
+//! let mut b = FunctionBuilder::new("demo");
+//! let e = b.entry_block();
+//! let x = b.op(e, &[]);
+//! let y = b.op(e, &[x]);
+//! b.op(e, &[x, y]);
+//! let f = b.finish();
+//!
+//! let report = AllocationPipeline::new(Target::new(TargetKind::St231))
+//!     .allocator("BFPL")
+//!     .instance_kind(InstanceKind::PreciseGraph)
+//!     .registers(2)
+//!     .run(&f)
+//!     .expect("BFPL is registered and the function is SSA");
+//! assert!(report.converged);
+//! assert!(report.verdict.is_feasible());
+//! ```
+
+use crate::assign::Assignment;
+use crate::coalesce;
+use crate::pipeline::{build_instance, copy_affinities, InstanceKind};
+use crate::problem::{Allocator, Instance};
+use crate::registry::AllocatorRegistry;
+use crate::verify::{self, Feasibility};
+use lra_graph::BitSet;
+use lra_ir::{liveness, spill_code, Function};
+use lra_targets::Target;
+
+/// Whether (and how) the pipeline coalesces copy-related variables
+/// before allocating.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CoalesceMode {
+    /// No coalescing (the paper's setting: spilling studied in
+    /// isolation).
+    #[default]
+    Off,
+    /// Briggs-conservative merges only (never hurts colourability).
+    Conservative,
+    /// Merge every non-interfering affine pair. May break chordality;
+    /// rounds where the quotient loses chordality fall back to the
+    /// uncoalesced graph when the selected allocator requires a PEO.
+    Aggressive,
+}
+
+/// Why a pipeline run could not start or finish.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The requested allocator name is not in the
+    /// [`AllocatorRegistry`].
+    UnknownAllocator(String),
+    /// The allocator needs live intervals but the pipeline was
+    /// configured with [`InstanceKind::PreciseGraph`].
+    NeedsIntervals(&'static str),
+    /// The allocator needs a chordal interference graph but the
+    /// function's instance is not chordal (non-SSA input with the
+    /// precise-graph view).
+    NeedsChordal(&'static str),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::UnknownAllocator(name) => write!(
+                f,
+                "unknown allocator {name:?}; registered: {}",
+                AllocatorRegistry::names().join(", ")
+            ),
+            PipelineError::NeedsIntervals(name) => {
+                write!(f, "allocator {name} requires InstanceKind::LinearIntervals")
+            }
+            PipelineError::NeedsChordal(name) => write!(
+                f,
+                "allocator {name} requires a chordal interference graph (SSA input)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Builder-configured orchestrator for allocate → spill-code rewrite →
+/// re-analyse → assign → verify. See the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct AllocationPipeline {
+    target: Target,
+    kind: InstanceKind,
+    allocator: String,
+    registers: Option<u32>,
+    coalesce: CoalesceMode,
+    max_rounds: u32,
+    optimized_spill: bool,
+}
+
+impl AllocationPipeline {
+    /// A pipeline for `target` with the defaults: the `BFPL` allocator,
+    /// the precise-graph instance view, the target's architectural
+    /// register count, no coalescing, plain spill-everywhere rewriting,
+    /// and at most 8 spill-then-reanalyse rounds.
+    pub fn new(target: Target) -> Self {
+        AllocationPipeline {
+            target,
+            kind: InstanceKind::PreciseGraph,
+            allocator: "BFPL".to_string(),
+            registers: None,
+            coalesce: CoalesceMode::Off,
+            max_rounds: 8,
+            optimized_spill: false,
+        }
+    }
+
+    /// Selects the allocator by registry name (case-insensitive).
+    pub fn allocator(mut self, name: impl Into<String>) -> Self {
+        self.allocator = name.into();
+        self
+    }
+
+    /// Selects the instance view (precise graph vs linearised
+    /// intervals).
+    pub fn instance_kind(mut self, kind: InstanceKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Overrides the register count (defaults to the target's file
+    /// size).
+    pub fn registers(mut self, r: u32) -> Self {
+        self.registers = Some(r);
+        self
+    }
+
+    /// Enables copy/φ coalescing before each allocation round.
+    pub fn coalescing(mut self, mode: CoalesceMode) -> Self {
+        self.coalesce = mode;
+        self
+    }
+
+    /// Caps the spill-then-reanalyse iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is zero.
+    pub fn max_rounds(mut self, rounds: u32) -> Self {
+        assert!(rounds >= 1, "the pipeline needs at least one round");
+        self.max_rounds = rounds;
+        self
+    }
+
+    /// Uses the §2.1 load-store-optimised rewriting (shared reloads
+    /// within a block) instead of plain spill-everywhere.
+    pub fn optimized_spill_code(mut self, enabled: bool) -> Self {
+        self.optimized_spill = enabled;
+        self
+    }
+
+    /// Runs the full pipeline on `f`.
+    pub fn run(&self, f: &Function) -> Result<AllocatedFunction, PipelineError> {
+        let spec = AllocatorRegistry::spec(&self.allocator)
+            .ok_or_else(|| PipelineError::UnknownAllocator(self.allocator.clone()))?;
+        if spec.needs_intervals && self.kind != InstanceKind::LinearIntervals {
+            return Err(PipelineError::NeedsIntervals(spec.name));
+        }
+        let allocator = spec.build();
+        let r = self
+            .registers
+            .unwrap_or_else(|| self.target.register_count());
+        let max_live_before = liveness::analyze(f).max_live;
+
+        let mut func = f.clone();
+        let mut round_costs: Vec<u64> = Vec::new();
+        let mut spilled_values: Vec<usize> = Vec::new();
+        let mut stores = 0usize;
+        let mut loads = 0usize;
+        let mut saved_moves = 0u64;
+        let mut converged = false;
+        let mut rounds = 0u32;
+        let mut prev_max_live = max_live_before;
+
+        let (assignment, verdict) = loop {
+            rounds += 1;
+            let inst = build_instance(&func, &self.target, self.kind);
+            if spec.needs_chordal && !inst.is_chordal() {
+                return Err(PipelineError::NeedsChordal(spec.name));
+            }
+            let round =
+                self.allocate_round(&inst, &func, allocator.as_ref(), spec.needs_chordal, r);
+            round_costs.push(round.cost);
+            saved_moves += round.saved_moves;
+
+            if round.spilled.is_empty() {
+                converged = true;
+                break (round.assignment, round.verdict);
+            }
+
+            // Rewrite the function so the spilled values live in memory.
+            let spill_set = BitSet::from_iter_with_capacity(
+                func.value_count as usize,
+                round.spilled.iter().copied(),
+            );
+            let (next, stats) = if self.optimized_spill {
+                let (g, stats, _) = spill_code::insert_spill_code_optimized(&func, &spill_set);
+                (g, stats)
+            } else {
+                spill_code::insert_spill_code(&func, &spill_set)
+            };
+            stores += stats.stores;
+            loads += stats.loads;
+            spilled_values.extend(round.spilled.iter().copied());
+            func = next;
+
+            // Stop when out of budget, or when spilling stopped lowering
+            // MaxLive: the binding pressure point is then made of
+            // reloads/φ-edge copies that re-spilling only recreates
+            // (the §4.3 residual-pressure limit). Either way the last
+            // round's (feasible) partial assignment is reported and
+            // `converged` stays false.
+            let max_live = liveness::analyze(&func).max_live;
+            let stuck = max_live >= prev_max_live;
+            prev_max_live = max_live;
+            if rounds >= self.max_rounds || stuck {
+                break (round.assignment, round.verdict);
+            }
+        };
+
+        // `prev_max_live` tracks the liveness of `func` as rewritten:
+        // on a non-converged exit it was just recomputed, and on a
+        // converged exit `func` is unchanged since it was last measured.
+        let max_live_after = prev_max_live;
+        let spilled = BitSet::from_iter_with_capacity(
+            func.value_count as usize,
+            spilled_values.iter().copied(),
+        );
+        Ok(AllocatedFunction {
+            // On a non-converged exit the final rewrite appended reload
+            // values that the last allocation round never saw; pad the
+            // assignment so it covers every value of `function`, with
+            // `None` for the values the pipeline could not register-
+            // allocate.
+            assignment: assignment.pad_to(func.value_count as usize),
+            function: func,
+            allocator: spec.name,
+            registers: r,
+            kind: self.kind,
+            rounds,
+            converged,
+            spill_cost: round_costs.iter().sum(),
+            round_costs,
+            spilled,
+            stores,
+            loads,
+            saved_moves,
+            verdict,
+            max_live_before,
+            max_live_after,
+        })
+    }
+
+    /// One allocation round: allocate on `inst` (or its coalesced
+    /// quotient), and translate the result back to value space.
+    fn allocate_round(
+        &self,
+        inst: &Instance,
+        func: &Function,
+        allocator: &dyn Allocator,
+        needs_chordal: bool,
+        r: u32,
+    ) -> RoundOutcome {
+        let n = inst.vertex_count();
+        let quotient = match self.coalesce {
+            CoalesceMode::Off => None,
+            mode => {
+                let aff = copy_affinities(func);
+                if aff.is_empty() {
+                    None
+                } else {
+                    let co = match mode {
+                        CoalesceMode::Aggressive => coalesce::aggressive_coalesce(inst, &aff),
+                        _ => coalesce::conservative_coalesce(inst, &aff, r),
+                    };
+                    // A layered allocator cannot run on a quotient that
+                    // lost chordality; skip coalescing for this round.
+                    if needs_chordal && !co.instance.is_chordal() {
+                        None
+                    } else {
+                        Some(co)
+                    }
+                }
+            }
+        };
+
+        match quotient {
+            None => {
+                let alloc = allocator.allocate(inst, r);
+                let verdict = verify::check(inst, &alloc, r);
+                let assignment =
+                    assignment_from(&verdict, n, |v| alloc.allocated.contains(v).then_some(v));
+                RoundOutcome {
+                    cost: alloc.spill_cost,
+                    spilled: alloc.spilled_set(inst).iter().collect(),
+                    assignment,
+                    verdict,
+                    saved_moves: 0,
+                }
+            }
+            Some(co) => {
+                let alloc = allocator.allocate(&co.instance, r);
+                let verdict = verify::check(&co.instance, &alloc, r);
+                let assignment = assignment_from(&verdict, n, |v| {
+                    let class = co.class_of[v];
+                    alloc.allocated.contains(class).then_some(class)
+                });
+                let spilled = (0..n)
+                    .filter(|&v| !alloc.allocated.contains(co.class_of[v]))
+                    .collect();
+                RoundOutcome {
+                    cost: alloc.spill_cost,
+                    spilled,
+                    assignment,
+                    verdict,
+                    saved_moves: co.saved_moves,
+                }
+            }
+        }
+    }
+}
+
+/// Expands a feasibility witness into a per-value [`Assignment`]:
+/// `slot_of(v)` names the witness slot (the vertex, or its coalesced
+/// class) whose colour `v` receives, or `None` for spilled values.
+fn assignment_from(
+    verdict: &Feasibility,
+    n: usize,
+    slot_of: impl Fn(usize) -> Option<usize>,
+) -> Assignment {
+    match verdict {
+        Feasibility::Feasible(colors) => {
+            Assignment::from_registers((0..n).map(|v| slot_of(v).map(|s| colors[s])).collect())
+        }
+        _ => Assignment::from_registers(vec![None; n]),
+    }
+}
+
+struct RoundOutcome {
+    cost: u64,
+    spilled: Vec<usize>,
+    assignment: Assignment,
+    verdict: Feasibility,
+    saved_moves: u64,
+}
+
+/// The report returned by [`AllocationPipeline::run`].
+#[derive(Clone, Debug)]
+pub struct AllocatedFunction {
+    /// The final function, with all inserted spill code.
+    pub function: Function,
+    /// Registry name of the allocator that ran.
+    pub allocator: &'static str,
+    /// Register count the pipeline targeted.
+    pub registers: u32,
+    /// Instance view used for every analysis round.
+    pub kind: InstanceKind,
+    /// Allocation rounds executed (1 = no residual-pressure iteration
+    /// was needed beyond the initial allocation).
+    pub rounds: u32,
+    /// `true` when the last round spilled nothing: every remaining
+    /// value (including all reloads) holds a register and
+    /// [`AllocatedFunction::assignment`] is total on live values.
+    pub converged: bool,
+    /// Total spill cost over all rounds — the allocation cost.
+    pub spill_cost: u64,
+    /// Per-round spill costs; `round_costs[0]` is the paper's
+    /// spill-everywhere allocation cost on the original function.
+    pub round_costs: Vec<u64>,
+    /// Every value the pipeline spilled, in the final function's value
+    /// index space.
+    pub spilled: BitSet,
+    /// Spill stores inserted across all rounds.
+    pub stores: usize,
+    /// Spill reloads inserted across all rounds.
+    pub loads: usize,
+    /// Move cost removed by coalescing (0 when coalescing is off).
+    pub saved_moves: u64,
+    /// Concrete register per value of [`AllocatedFunction::function`]
+    /// (`None` for spilled values). When `converged` is `false` the
+    /// entries for the final round's spilled values and for the reloads
+    /// inserted by the final rewrite are `None`: those are exactly the
+    /// values the pipeline could not fit into `registers`.
+    pub assignment: Assignment,
+    /// Verification verdict for the final round's allocation.
+    pub verdict: Feasibility,
+    /// `MaxLive` of the input function.
+    pub max_live_before: usize,
+    /// `MaxLive` of the final rewritten function.
+    pub max_live_after: usize,
+}
+
+impl AllocatedFunction {
+    /// The first round's spill cost: the spill-everywhere allocation
+    /// cost on the original function, the quantity every figure of the
+    /// paper reports.
+    pub fn first_round_spill_cost(&self) -> u64 {
+        self.round_costs.first().copied().unwrap_or(0)
+    }
+
+    /// Number of values spilled across all rounds.
+    pub fn spilled_count(&self) -> usize {
+        self.spilled.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lra_ir::builder::FunctionBuilder;
+    use lra_ir::genprog::{random_ssa_function, SsaConfig};
+    use lra_targets::TargetKind;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_function(seed: u64) -> Function {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let cfg = SsaConfig {
+            target_instrs: 60,
+            liveness_window: 10,
+            ..SsaConfig::default()
+        };
+        random_ssa_function(&mut rng, &cfg, format!("f{seed}"))
+    }
+
+    #[test]
+    fn pipeline_converges_and_verifies_on_ssa_functions() {
+        let t = Target::new(TargetKind::St231);
+        for seed in 0..4u64 {
+            let f = small_function(seed);
+            let report = AllocationPipeline::new(t)
+                .allocator("BFPL")
+                .registers(4)
+                .run(&f)
+                .expect("BFPL runs on SSA");
+            assert!(report.verdict.is_feasible(), "seed {seed}");
+            assert!(report.rounds >= 1);
+            if report.converged {
+                // A converged run assigns a register to every
+                // interfering pair distinctly.
+                let inst = build_instance(&report.function, &t, InstanceKind::PreciseGraph);
+                for (u, v) in inst.graph().edges() {
+                    if let (Some(a), Some(b)) = (
+                        report.assignment.register_of(u.index()),
+                        report.assignment.register_of(v.index()),
+                    ) {
+                        assert_ne!(a, b, "seed {seed}: neighbours share a register");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spilling_rounds_reduce_pressure() {
+        let t = Target::new(TargetKind::St231);
+        let f = small_function(11);
+        let before = liveness::analyze(&f).max_live;
+        let report = AllocationPipeline::new(t).registers(3).run(&f).unwrap();
+        if report.stores > 0 {
+            assert!(report.max_live_after < before.max(4));
+        }
+        assert_eq!(report.max_live_before, before);
+        assert_eq!(report.spill_cost, report.round_costs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn unknown_allocator_is_an_error() {
+        let t = Target::new(TargetKind::St231);
+        let f = small_function(1);
+        let err = AllocationPipeline::new(t)
+            .allocator("XXL")
+            .run(&f)
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::UnknownAllocator(_)));
+        assert!(
+            err.to_string().contains("BFPL"),
+            "error lists registered names"
+        );
+    }
+
+    #[test]
+    fn linear_scans_demand_the_interval_view() {
+        let t = Target::new(TargetKind::St231);
+        let f = small_function(2);
+        let err = AllocationPipeline::new(t)
+            .allocator("DLS")
+            .run(&f)
+            .unwrap_err();
+        assert_eq!(err, PipelineError::NeedsIntervals("DLS"));
+        let ok = AllocationPipeline::new(t)
+            .allocator("DLS")
+            .instance_kind(InstanceKind::LinearIntervals)
+            .registers(6)
+            .run(&f);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn every_graph_allocator_runs_through_the_pipeline() {
+        let t = Target::new(TargetKind::St231);
+        let f = small_function(3);
+        for spec in AllocatorRegistry::specs() {
+            let report = AllocationPipeline::new(t)
+                .allocator(spec.name)
+                .instance_kind(spec.default_kind())
+                .registers(4)
+                .max_rounds(4)
+                .run(&f)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert!(report.verdict.is_feasible(), "{} infeasible", spec.name);
+        }
+    }
+
+    #[test]
+    fn first_round_cost_matches_direct_allocation() {
+        use crate::layered::Layered;
+        let t = Target::new(TargetKind::St231);
+        let f = small_function(5);
+        let inst = build_instance(&f, &t, InstanceKind::PreciseGraph);
+        let direct = Layered::bfpl().allocate(&inst, 3).spill_cost;
+        let report = AllocationPipeline::new(t).registers(3).run(&f).unwrap();
+        assert_eq!(report.first_round_spill_cost(), direct);
+    }
+
+    #[test]
+    fn coalescing_reports_saved_moves() {
+        let t = Target::new(TargetKind::St231);
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let cfg = SsaConfig {
+            target_instrs: 80,
+            copy_percent: 15,
+            branch_percent: 25,
+            ..SsaConfig::default()
+        };
+        let f = random_ssa_function(&mut rng, &cfg, "with_copies");
+        let plain = AllocationPipeline::new(t).registers(6).run(&f).unwrap();
+        let coalesced = AllocationPipeline::new(t)
+            .registers(6)
+            .coalescing(CoalesceMode::Conservative)
+            .run(&f)
+            .unwrap();
+        assert_eq!(plain.saved_moves, 0);
+        assert!(coalesced.verdict.is_feasible());
+    }
+
+    #[test]
+    fn single_instruction_pressure_cannot_converge() {
+        // Seven values all consumed by one instruction: with R = 2 the
+        // reloads themselves exceed R at the use point, so MaxLive
+        // stops dropping and the pipeline must report converged ==
+        // false after the no-progress cutoff — well before max_rounds.
+        let mut b = FunctionBuilder::new("wide");
+        let e = b.entry_block();
+        let vs: Vec<_> = (0..7).map(|_| b.op(e, &[])).collect();
+        b.op(e, &vs);
+        let f = b.finish();
+        let report = AllocationPipeline::new(Target::new(TargetKind::St231))
+            .registers(2)
+            .max_rounds(8)
+            .run(&f)
+            .unwrap();
+        assert!(!report.converged);
+        assert!(report.rounds < 8, "no-progress cutoff should fire early");
+        assert!(report.max_live_after > 2);
+    }
+}

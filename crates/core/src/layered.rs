@@ -150,7 +150,8 @@ impl Allocator for Layered {
         while !candidates.is_empty() && used < r {
             let s = self.step.min(r - used);
             let (layer, consumed): (Vec<usize>, u32) = if s == 1 {
-                let set = stable::max_weight_stable_set_restricted(&selection, order, Some(&candidates));
+                let set =
+                    stable::max_weight_stable_set_restricted(&selection, order, Some(&candidates));
                 (set.vertices.iter().map(|v| v.index()).collect(), 1)
             } else {
                 step_layer(&selection, &candidates, s)
@@ -166,7 +167,14 @@ impl Allocator for Layered {
         }
 
         if self.fixed_point && r > 0 {
-            fixed_point_extension(instance, &selection, order, &mut allocated, &mut candidates, r);
+            fixed_point_extension(
+                instance,
+                &selection,
+                order,
+                &mut allocated,
+                &mut candidates,
+                r,
+            );
         }
 
         instance.allocation_from_set(allocated)
@@ -195,7 +203,9 @@ fn step_layer(selection: &WeightedGraph, candidates: &BitSet, step: u32) -> (Vec
             (layer, step)
         }
         None => {
-            let order = sub_inst.peo().expect("induced subgraph of chordal is chordal");
+            let order = sub_inst
+                .peo()
+                .expect("induced subgraph of chordal is chordal");
             let layer = stable::max_weight_stable_set(sub_inst.weighted_graph(), order)
                 .vertices
                 .iter()
@@ -233,9 +243,9 @@ fn fixed_point_extension(
 
     // Algorithm 4 (UPDATE) for a batch of freshly allocated vertices.
     let update = |fresh: &[Vertex],
-                      allocated_per_clique: &mut [u32],
-                      clique_full: &mut [bool],
-                      candidates: &mut BitSet| {
+                  allocated_per_clique: &mut [u32],
+                  clique_full: &mut [bool],
+                  candidates: &mut BitSet| {
         for v in fresh {
             for &ci in &cliques_of[v.index()] {
                 let ci = ci as usize;
@@ -255,7 +265,12 @@ fn fixed_point_extension(
 
     // Initial update with everything allocated by the R layers.
     let initial: Vec<Vertex> = allocated.iter().map(Vertex::new).collect();
-    update(&initial, &mut allocated_per_clique, &mut clique_full, candidates);
+    update(
+        &initial,
+        &mut allocated_per_clique,
+        &mut clique_full,
+        candidates,
+    );
 
     // Iterate to the fixed point.
     while !candidates.is_empty() {
@@ -267,7 +282,12 @@ fn fixed_point_extension(
             allocated.insert(v.index());
             candidates.remove(v.index());
         }
-        update(&layer.vertices, &mut allocated_per_clique, &mut clique_full, candidates);
+        update(
+            &layer.vertices,
+            &mut allocated_per_clique,
+            &mut clique_full,
+            candidates,
+        );
     }
 }
 
@@ -356,8 +376,14 @@ mod tests {
         assert!(verify::check(&inst, &bl, 2).is_feasible());
         // BL spills {a, e, g} = 4; NL at best spills {a, c, e} = 5.
         assert_eq!(bl.spill_cost, 4);
-        assert!(bl.allocated.contains(2) && bl.allocated.contains(5), "BL picks c and f first");
-        assert!(bl.allocated.contains(1) && bl.allocated.contains(3), "then b and d");
+        assert!(
+            bl.allocated.contains(2) && bl.allocated.contains(5),
+            "BL picks c and f first"
+        );
+        assert!(
+            bl.allocated.contains(1) && bl.allocated.contains(3),
+            "then b and d"
+        );
         assert!(nl.spill_cost >= bl.spill_cost);
     }
 
@@ -374,7 +400,10 @@ mod tests {
             "NL allocates a, b, d"
         );
         let fpl = Layered::fpl().allocate(&inst, 2);
-        assert!(fpl.allocated.len() > nl.allocated.len(), "FPL adds a vertex");
+        assert!(
+            fpl.allocated.len() > nl.allocated.len(),
+            "FPL adds a vertex"
+        );
         assert!(verify::check(&inst, &fpl, 2).is_feasible());
         // f (vertex 5) can never be added: clique {a, d, f} is full.
         assert!(!fpl.allocated.contains(5));
@@ -384,7 +413,12 @@ mod tests {
     #[test]
     fn zero_registers_allocates_nothing() {
         let inst = figure6();
-        for alg in [Layered::nl(), Layered::bl(), Layered::fpl(), Layered::bfpl()] {
+        for alg in [
+            Layered::nl(),
+            Layered::bl(),
+            Layered::fpl(),
+            Layered::bfpl(),
+        ] {
             let a = alg.allocate(&inst, 0);
             assert!(a.allocated.is_empty());
             assert_eq!(a.spill_cost, inst.total_weight());
@@ -401,7 +435,12 @@ mod tests {
         let ml = inst.max_live() as u32;
         for alg in [Layered::fpl(), Layered::bfpl()] {
             let a = alg.allocate(&inst, ml);
-            assert_eq!(a.spill_cost, 0, "{} should spill nothing at R=MaxLive", alg.name());
+            assert_eq!(
+                a.spill_cost,
+                0,
+                "{} should spill nothing at R=MaxLive",
+                alg.name()
+            );
             assert!(verify::check(&inst, &a, ml).is_feasible());
         }
         for alg in [Layered::nl(), Layered::bl()] {

@@ -54,13 +54,17 @@ pub mod assign;
 pub mod baselines;
 pub mod cluster;
 pub mod coalesce;
+pub mod driver;
 pub mod layered;
 pub mod optimal;
 pub mod pipeline;
 pub mod problem;
+pub mod registry;
 pub mod verify;
 
 pub use cluster::LayeredHeuristic;
+pub use driver::{AllocatedFunction, AllocationPipeline, CoalesceMode, PipelineError};
 pub use layered::Layered;
 pub use optimal::Optimal;
 pub use problem::{Allocation, Allocator, Instance};
+pub use registry::{AllocatorRegistry, AllocatorSpec, CHORDAL_FIGURE_SET, JVM_FIGURE_SET};

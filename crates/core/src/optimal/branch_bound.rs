@@ -97,9 +97,7 @@ pub fn solve(instance: &Instance, r: u32, node_limit: u64) -> Option<Allocation>
     // Decreasing weight puts expensive spills early (strong bounds);
     // ties broken by degree so constrained vertices are decided first.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by_key(|&v| {
-        std::cmp::Reverse((wg.weight(v), instance.graph().degree(v)))
-    });
+    order.sort_by_key(|&v| std::cmp::Reverse((wg.weight(v), instance.graph().degree(v))));
 
     let mut search = Search {
         instance,

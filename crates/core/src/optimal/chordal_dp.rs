@@ -28,7 +28,9 @@ pub const MAX_BAG: usize = 22;
 ///
 /// Panics if the instance is not chordal.
 pub fn solve(instance: &Instance, r: u32) -> Option<Allocation> {
-    let order = instance.peo().expect("chordal DP requires a chordal instance");
+    let order = instance
+        .peo()
+        .expect("chordal DP requires a chordal instance");
     let g = instance.graph();
     let wg = instance.weighted_graph();
     let n = g.vertex_count();
@@ -53,9 +55,7 @@ pub fn solve(instance: &Instance, r: u32) -> Option<Allocation> {
         .iter()
         .map(|bag| bag.iter().map(|v| v.index()).collect())
         .collect();
-    let sep_list: Vec<Vec<usize>> = (0..k)
-        .map(|b| tree.separator(b).iter().collect())
-        .collect();
+    let sep_list: Vec<Vec<usize>> = (0..k).map(|b| tree.separator(b).iter().collect()).collect();
 
     // For projecting a bag mask onto an ordered vertex list.
     let project = |mask: u32, vs: &[usize], targets: &[usize]| -> u32 {
@@ -238,10 +238,7 @@ mod tests {
         assert!(n <= 20);
         let mut best = 0;
         for mask in 0u32..(1 << n) {
-            let set = BitSet::from_iter_with_capacity(
-                n,
-                (0..n).filter(|&v| mask & (1 << v) != 0),
-            );
+            let set = BitSet::from_iter_with_capacity(n, (0..n).filter(|&v| mask & (1 << v) != 0));
             // Feasibility on chordal graphs: every maximal clique ≤ r.
             let ok = inst
                 .maximal_cliques()

@@ -191,7 +191,12 @@ pub fn solve(instance: &Instance, r: u32) -> Allocation {
     let mut interval_edges: Vec<(usize, usize)> = Vec::new(); // (edge id, vertex)
     for (i, iv) in intervals.iter().enumerate() {
         if !iv.is_empty() {
-            let id = net.add_edge(node_of(iv.start), node_of(iv.end), 1, -(wg.weight(i) as i64));
+            let id = net.add_edge(
+                node_of(iv.start),
+                node_of(iv.end),
+                1,
+                -(wg.weight(i) as i64),
+            );
             interval_edges.push((id, i));
         }
     }
@@ -219,7 +224,11 @@ mod tests {
     #[test]
     fn disjoint_intervals_all_allocated() {
         let i = inst(
-            vec![Interval::new(0, 2), Interval::new(3, 5), Interval::new(6, 8)],
+            vec![
+                Interval::new(0, 2),
+                Interval::new(3, 5),
+                Interval::new(6, 8),
+            ],
             vec![1, 1, 1],
         );
         let a = solve(&i, 1);
@@ -239,7 +248,11 @@ mod tests {
         // Three intervals covering one common point; R=2 keeps the two
         // heaviest.
         let i = inst(
-            vec![Interval::new(0, 10), Interval::new(1, 9), Interval::new(2, 8)],
+            vec![
+                Interval::new(0, 10),
+                Interval::new(1, 9),
+                Interval::new(2, 8),
+            ],
             vec![5, 1, 7],
         );
         let a = solve(&i, 2);
@@ -253,7 +266,11 @@ mod tests {
         // around each other on one register: optimal takes the two
         // shorts plus nothing else at R=1 if they don't overlap.
         let i = inst(
-            vec![Interval::new(0, 10), Interval::new(0, 4), Interval::new(5, 10)],
+            vec![
+                Interval::new(0, 10),
+                Interval::new(0, 4),
+                Interval::new(5, 10),
+            ],
             vec![5, 4, 4],
         );
         let a = solve(&i, 1);

@@ -84,7 +84,11 @@ mod tests {
     #[test]
     fn dispatch_interval_instance() {
         let inst = Instance::from_intervals(
-            vec![Interval::new(0, 4), Interval::new(1, 5), Interval::new(2, 6)],
+            vec![
+                Interval::new(0, 4),
+                Interval::new(1, 5),
+                Interval::new(2, 6),
+            ],
             vec![3, 5, 4],
         );
         let a = Optimal::new().allocate(&inst, 2);

@@ -211,7 +211,11 @@ mod tests {
 
     #[test]
     fn interval_instance_has_everything() {
-        let ivs = vec![Interval::new(0, 4), Interval::new(2, 6), Interval::new(5, 8)];
+        let ivs = vec![
+            Interval::new(0, 4),
+            Interval::new(2, 6),
+            Interval::new(5, 8),
+        ];
         let inst = Instance::from_intervals(ivs, vec![1, 2, 3]);
         assert!(inst.is_chordal());
         assert!(inst.intervals().is_some());

@@ -156,7 +156,11 @@ mod tests {
         let inst = instance(4, &[(0, 1), (1, 2), (2, 3), (0, 2)]);
         let all = BitSet::full(4);
         if let Feasibility::Feasible(colors) = check_set(&inst, &all, 3) {
-            assert!(coloring::is_proper_coloring(inst.graph(), &colors, Some(&all)));
+            assert!(coloring::is_proper_coloring(
+                inst.graph(),
+                &colors,
+                Some(&all)
+            ));
         } else {
             panic!("expected feasible");
         }

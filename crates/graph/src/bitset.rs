@@ -76,7 +76,11 @@ impl BitSet {
     ///
     /// Panics if `key >= capacity`.
     pub fn insert(&mut self, key: usize) -> bool {
-        assert!(key < self.capacity, "key {key} out of capacity {}", self.capacity);
+        assert!(
+            key < self.capacity,
+            "key {key} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (key / 64, key % 64);
         let was = self.words[w] & (1 << b) != 0;
         self.words[w] |= 1 << b;
@@ -126,7 +130,10 @@ impl BitSet {
 
     /// Returns `true` if every key of `self` is also in `other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// In-place union with `other`.

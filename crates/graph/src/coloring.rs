@@ -53,10 +53,16 @@ pub fn greedy_coloring_in_order(g: &Graph, order: impl Iterator<Item = Vertex>) 
                 }
             }
         }
-        let c = used.iter().position(|&b| !b).expect("first-fit colour exists") as Color;
+        let c = used
+            .iter()
+            .position(|&b| !b)
+            .expect("first-fit colour exists") as Color;
         colors[v] = Some(c);
     }
-    colors.into_iter().map(|c| c.expect("all vertices coloured")).collect()
+    colors
+        .into_iter()
+        .map(|c| c.expect("all vertices coloured"))
+        .collect()
 }
 
 /// The number of distinct colours in a colouring.

@@ -43,7 +43,12 @@ use rand::Rng;
 /// let g = lra_graph::generate::random_chordal(&mut rng, 30, 40, 5);
 /// assert!(lra_graph::peo::is_chordal(&g));
 /// ```
-pub fn random_chordal(rng: &mut impl Rng, n: usize, tree_size: usize, subtree_nodes: usize) -> Graph {
+pub fn random_chordal(
+    rng: &mut impl Rng,
+    n: usize,
+    tree_size: usize,
+    subtree_nodes: usize,
+) -> Graph {
     let tree_size = tree_size.max(1);
     // Random host tree: parent of node i is uniform in 0..i.
     let mut tree_adj: Vec<Vec<usize>> = vec![Vec::new(); tree_size];
@@ -259,7 +264,10 @@ mod tests {
     fn chordal_generator_is_chordal() {
         for seed in 0..20 {
             let g = random_chordal(&mut rng(seed), 40, 60, 6);
-            assert!(peo::is_chordal(&g), "seed {seed} produced non-chordal graph");
+            assert!(
+                peo::is_chordal(&g),
+                "seed {seed} produced non-chordal graph"
+            );
         }
     }
 
@@ -306,14 +314,20 @@ mod tests {
         let g = random_general(&mut rng(5), 40, 20);
         let possible = 40 * 39 / 2;
         let density = g.edge_count() * 100 / possible;
-        assert!((10..=30).contains(&density), "density {density}% out of band");
+        assert!(
+            (10..=30).contains(&density),
+            "density {density}% out of band"
+        );
     }
 
     #[test]
     fn weights_are_positive_and_skewed() {
         let ws = random_weights(&mut rng(9), 500, 3);
         assert!(ws.iter().all(|&w| w >= 1));
-        assert!(ws.iter().any(|&w| w >= 100), "some deep-loop weights expected");
+        assert!(
+            ws.iter().any(|&w| w >= 100),
+            "some deep-loop weights expected"
+        );
     }
 
     #[test]

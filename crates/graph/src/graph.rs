@@ -98,7 +98,11 @@ impl GraphBuilder {
     ///
     /// Panics if `u` or `v` is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize) -> &mut Self {
-        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range for {} vertices", self.n);
+        assert!(
+            u < self.n && v < self.n,
+            "edge ({u},{v}) out of range for {} vertices",
+            self.n
+        );
         if u != v {
             self.rows[u].insert(v);
             self.rows[v].insert(u);
@@ -225,7 +229,9 @@ impl Graph {
 
     /// Returns `true` if `vs` induces a clique (every two members adjacent).
     pub fn is_clique(&self, vs: &[usize]) -> bool {
-        vs.iter().enumerate().all(|(i, &u)| vs[i + 1..].iter().all(|&v| self.has_edge(u, v)))
+        vs.iter()
+            .enumerate()
+            .all(|(i, &u)| vs[i + 1..].iter().all(|&v| self.has_edge(u, v)))
     }
 
     /// Returns `true` if `vs` is a stable (independent) set.

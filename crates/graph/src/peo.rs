@@ -257,7 +257,10 @@ mod tests {
     fn empty_and_singleton() {
         assert!(is_chordal(&Graph::empty(0)));
         assert!(is_chordal(&Graph::empty(1)));
-        assert_eq!(perfect_elimination_order(&Graph::empty(3)).unwrap().len(), 3);
+        assert_eq!(
+            perfect_elimination_order(&Graph::empty(3)).unwrap().len(),
+            3
+        );
     }
 
     #[test]

@@ -272,7 +272,12 @@ mod tests {
         // bb0 -> bb1, bb2; bb1 -> bb3; bb2 -> bb3.
         let mut f = Function {
             name: "diamond".into(),
-            blocks: vec![Block::default(), Block::default(), Block::default(), Block::default()],
+            blocks: vec![
+                Block::default(),
+                Block::default(),
+                Block::default(),
+                Block::default(),
+            ],
             entry: BlockId(0),
             value_count: 0,
             params: vec![],

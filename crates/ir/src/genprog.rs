@@ -113,7 +113,13 @@ impl<R: Rng> SsaGen<'_, R> {
     /// Generates a region starting in `cur`; returns the block where
     /// control continues. `scope` holds values whose definitions
     /// dominate every point of the region.
-    fn region(&mut self, mut cur: BlockId, depth: u32, mut budget: isize, scope: &mut Vec<Value>) -> BlockId {
+    fn region(
+        &mut self,
+        mut cur: BlockId,
+        depth: u32,
+        mut budget: isize,
+        scope: &mut Vec<Value>,
+    ) -> BlockId {
         while budget > 0 && self.budget > 0 {
             let roll = self.rng.gen_range(0..100);
             if roll < self.cfg.branch_percent && budget > 6 {
@@ -133,7 +139,13 @@ impl<R: Rng> SsaGen<'_, R> {
         cur
     }
 
-    fn if_else(&mut self, cur: BlockId, depth: u32, budget: isize, scope: &mut Vec<Value>) -> BlockId {
+    fn if_else(
+        &mut self,
+        cur: BlockId,
+        depth: u32,
+        budget: isize,
+        scope: &mut Vec<Value>,
+    ) -> BlockId {
         // Condition computation in the current block.
         self.emit_instr(cur, scope);
         let then_b = self.b.block();
@@ -168,7 +180,13 @@ impl<R: Rng> SsaGen<'_, R> {
         join
     }
 
-    fn loop_region(&mut self, cur: BlockId, depth: u32, budget: isize, scope: &mut Vec<Value>) -> BlockId {
+    fn loop_region(
+        &mut self,
+        cur: BlockId,
+        depth: u32,
+        budget: isize,
+        scope: &mut Vec<Value>,
+    ) -> BlockId {
         let header = self.b.block();
         let exit = self.b.block();
         self.b.set_succs(cur, &[header]);
@@ -212,7 +230,11 @@ impl<R: Rng> SsaGen<'_, R> {
 ///
 /// The result always validates ([`Function::validate`]) and satisfies
 /// strict SSA ([`validate_strict_ssa`]).
-pub fn random_ssa_function(rng: &mut impl Rng, cfg: &SsaConfig, name: impl Into<String>) -> Function {
+pub fn random_ssa_function(
+    rng: &mut impl Rng,
+    cfg: &SsaConfig,
+    name: impl Into<String>,
+) -> Function {
     let mut g = SsaGen {
         b: FunctionBuilder::new(name),
         rng,
@@ -263,7 +285,11 @@ impl Default for JitConfig {
 /// Generates a random **non-SSA** function: temporaries are redefined
 /// freely, so live ranges have holes and the interference graph is a
 /// general (usually non-chordal) graph.
-pub fn random_jit_function(rng: &mut impl Rng, cfg: &JitConfig, name: impl Into<String>) -> Function {
+pub fn random_jit_function(
+    rng: &mut impl Rng,
+    cfg: &JitConfig,
+    name: impl Into<String>,
+) -> Function {
     use crate::cfg::{Block, Instr};
     let nb = cfg.blocks.max(1);
     let nv = cfg.vars.max(2);
@@ -454,7 +480,10 @@ mod tests {
     fn jit_functions_are_non_ssa() {
         let f = random_jit_function(&mut rng(4), &JitConfig::default(), "jit");
         f.validate().expect("structurally valid");
-        assert!(validate_strict_ssa(&f).is_err(), "JIT code should not be SSA");
+        assert!(
+            validate_strict_ssa(&f).is_err(),
+            "JIT code should not be SSA"
+        );
     }
 
     #[test]
@@ -496,7 +525,9 @@ mod tests {
             Instr::new(Opcode::Op, Some(Value(0)), vec![]),
         ];
         f.recompute_preds();
-        assert!(validate_strict_ssa(&f).unwrap_err().contains("multiple definitions"));
+        assert!(validate_strict_ssa(&f)
+            .unwrap_err()
+            .contains("multiple definitions"));
     }
 
     #[test]

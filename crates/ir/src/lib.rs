@@ -54,8 +54,8 @@ pub mod liveness;
 pub mod loops;
 pub mod pretty;
 pub mod spill_code;
+pub mod spill_cost;
 pub mod split;
 pub mod ssa;
-pub mod spill_cost;
 
 pub use cfg::{Block, BlockId, Function, Instr, Opcode, Value};

@@ -117,10 +117,7 @@ mod tests {
     #[test]
     fn nested_loops_stack_depth() {
         // 0 -> 1(outer h) -> 2(inner h) -> 3(inner body) -> 2; 2 -> 4 -> 1; 1 -> 5.
-        let f = function_with_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 3), (3, 2), (2, 4), (4, 1), (1, 5)],
-        );
+        let f = function_with_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 2), (2, 4), (4, 1), (1, 5)]);
         let li = LoopInfo::compute(&f, &DomTree::compute(&f));
         assert_eq!(li.depth(BlockId(1)), 1);
         assert_eq!(li.depth(BlockId(2)), 2);
@@ -141,9 +138,7 @@ mod tests {
 
     #[test]
     fn frequency_saturates() {
-        let li = LoopInfo {
-            depth: vec![40],
-        };
+        let li = LoopInfo { depth: vec![40] };
         // Depth clamped to 12 -> 10^12, no overflow.
         assert_eq!(li.frequency(BlockId(0)), 1_000_000_000_000);
     }

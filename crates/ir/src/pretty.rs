@@ -40,7 +40,15 @@ pub fn print(f: &Function) -> String {
             .map(|p| p.to_string())
             .collect::<Vec<_>>()
             .join(", ");
-        let _ = writeln!(out, "{b}:{}", if preds.is_empty() { String::new() } else { format!(" ; preds: {preds}") });
+        let _ = writeln!(
+            out,
+            "{b}:{}",
+            if preds.is_empty() {
+                String::new()
+            } else {
+                format!(" ; preds: {preds}")
+            }
+        );
         for instr in &block.instrs {
             let mnemonic = match instr.opcode {
                 Opcode::Op => "op",

@@ -382,10 +382,8 @@ mod tests {
         let vs: Vec<Value> = (0..6).map(|_| b.op(e, &[])).collect();
         b.op(e, &vs); // one instruction using all six at once
         let f = b.finish();
-        let all = BitSet::from_iter_with_capacity(
-            f.value_count as usize,
-            vs.iter().map(|v| v.index()),
-        );
+        let all =
+            BitSet::from_iter_with_capacity(f.value_count as usize, vs.iter().map(|v| v.index()));
         // All six reloads feed one instruction, so the reloads themselves
         // are simultaneously live: pressure = 6 at that point, but the
         // original long ranges are gone elsewhere.

@@ -33,7 +33,8 @@ pub fn spill_costs(f: &Function, live: &Liveness, loops: &LoopInfo, target: &Tar
         let block = f.block(b);
         for instr in &block.instrs {
             if let Some(d) = instr.def {
-                cost[d.index()] = cost[d.index()].saturating_add(target.store_cost().saturating_mul(freq));
+                cost[d.index()] =
+                    cost[d.index()].saturating_add(target.store_cost().saturating_mul(freq));
             }
             if instr.opcode == Opcode::Phi {
                 for (i, u) in instr.uses.iter().enumerate() {

@@ -1,0 +1,193 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the builder/macro surface the workspace benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`criterion_group!`]/[`criterion_main!`] — backed by a simple
+//! wall-clock timer instead of criterion's statistical machinery. Each
+//! benchmark runs one warm-up pass plus a small number of timed passes
+//! (capped; override with the `CRITERION_SHIM_SAMPLES` environment
+//! variable) and prints the mean time per iteration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("## bench group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            samples: default_samples(),
+            throughput: None,
+        }
+    }
+}
+
+fn default_samples() -> usize {
+    std::env::var("CRITERION_SHIM_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Requests `n` samples (capped at the shim's budget).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.min(default_samples());
+        self
+    }
+
+    /// Declares the work per iteration for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark closure parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: String, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: self.samples.max(1),
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let per_iter = if bencher.iters > 0 {
+            bencher.total / bencher.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        let rate = match (&self.throughput, per_iter.as_secs_f64()) {
+            (Some(Throughput::Elements(n)), s) if s > 0.0 => {
+                format!("  ({:.0} elem/s)", *n as f64 / s)
+            }
+            (Some(Throughput::Bytes(n)), s) if s > 0.0 => {
+                format!("  ({:.0} B/s)", *n as f64 / s)
+            }
+            _ => String::new(),
+        };
+        eprintln!(
+            "{}/{id}: {per_iter:?}/iter over {} iters{rate}",
+            self.name, bencher.iters
+        );
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Per-benchmark iteration driver.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: usize,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then `samples` timed calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let _warmup = routine();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            self.total += start.elapsed();
+            self.iters += 1;
+            drop(out);
+        }
+    }
+}
+
+/// A parameterised benchmark identifier.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made from a parameter value alone.
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// An id made from a function name and a parameter value.
+    pub fn new(name: impl Display, p: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Work performed per iteration, for derived throughput rates.
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Opaque hint to the optimiser (pass-through in the shim).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $bench(&mut c); )+
+        }
+    };
+}
+
+/// Generates `main` for one or more [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; ignore them.
+            $( $group(); )+
+        }
+    };
+}

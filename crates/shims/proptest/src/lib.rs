@@ -1,0 +1,163 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset the workspace's property tests use: the
+//! [`proptest!`] macro with an optional `#![proptest_config(...)]`
+//! attribute, integer-range strategies (`low..high`, `low..=high`),
+//! [`ProptestConfig::with_cases`], and the [`prop_assert!`] /
+//! [`prop_assert_eq!`] assertion macros. Inputs are drawn from a
+//! seeded ChaCha8 stream (per-test seed derived from the test name), so
+//! failures are reproducible; there is no shrinking — the failing
+//! arguments are printed instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::SeedableRng;
+pub use rand_chacha::ChaCha8Rng as TestRng;
+
+/// Property-test configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property assertion (carries the rendered message).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+/// Creates the deterministic generator for one named test.
+pub fn test_rng(test_name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// Draws one value from a range strategy.
+pub fn sample<T, S: rand::SampleRange<T>>(strategy: S, rng: &mut TestRng) -> T {
+    strategy.sample(rng)
+}
+
+/// The usual glob import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, TestCaseError};
+}
+
+/// Fails the enclosing proptest case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the enclosing proptest case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left != right {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($a),
+                stringify!($b),
+                left,
+                right
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if left != right {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Declares seeded property tests over range strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_rng(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::sample($strategy, &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest {} failed on case {case} with inputs {}: {}",
+                            stringify!($name),
+                            [$(format!("{}={:?}", stringify!($arg), $arg)),*].join(", "),
+                            e.0
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(a in 0u64..100, b in 5usize..=9) {
+            prop_assert!(a < 100);
+            prop_assert!((5..=9).contains(&b), "b out of range: {b}");
+            prop_assert_eq!(b.min(9), b);
+        }
+    }
+
+    #[test]
+    fn reproducible_streams() {
+        use rand::Rng as _;
+        let mut a = crate::test_rng("t");
+        let mut b = crate::test_rng("t");
+        assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+    }
+}

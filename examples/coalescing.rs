@@ -1,16 +1,13 @@
-//! Coalescing interaction study (the paper's §8 future work): extract
-//! copy/φ affinities from a generated SSA function, coalesce the
-//! interference graph aggressively and conservatively, and compare the
-//! spilling behaviour of the layered allocator on all three graphs.
+//! Coalescing interaction study (the paper's §8 future work): run the
+//! pipeline with coalescing off, conservative (Briggs) and aggressive,
+//! and compare moves saved against spill cost — all through the same
+//! `AllocationPipeline` entry point.
 //!
 //! Run with: `cargo run --release --example coalescing`
 
-use layered_allocation::core::coalesce::{aggressive_coalesce, conservative_coalesce};
-use layered_allocation::core::layered::Layered;
-use layered_allocation::core::pipeline::{build_instance, copy_affinities, InstanceKind};
-use layered_allocation::core::problem::Allocator;
-use layered_allocation::ir::genprog::{random_ssa_function, SsaConfig};
-use layered_allocation::targets::{Target, TargetKind};
+use lra::ir::genprog::{random_ssa_function, SsaConfig};
+use lra::targets::{Target, TargetKind};
+use lra::{AllocationPipeline, CoalesceMode};
 use rand::SeedableRng;
 
 fn main() {
@@ -24,52 +21,39 @@ fn main() {
     };
     let function = random_ssa_function(&mut rng, &config, "demo::with_copies");
     let target = Target::new(TargetKind::St231);
-    let instance = build_instance(&function, &target, InstanceKind::PreciseGraph);
-    let affinities = copy_affinities(&function);
-
-    println!(
-        "function: {} values, {} interferences, {} copy/φ affinities",
-        instance.vertex_count(),
-        instance.graph().edge_count(),
-        affinities.len(),
-    );
-
     let registers = 6;
-    let aggressive = aggressive_coalesce(&instance, &affinities);
-    let conservative = conservative_coalesce(&instance, &affinities, registers);
 
+    println!("function: {} values, R = {registers}", function.value_count);
     println!();
     println!(
-        "{:>14} {:>9} {:>9} {:>12} {:>12}",
-        "graph", "vertices", "chordal", "moves saved", "BFPL spill"
+        "{:>14} {:>12} {:>12} {:>8} {:>9}",
+        "coalescing", "moves saved", "spill cost", "rounds", "verified"
     );
-    for (name, inst, saved) in [
-        ("original", &instance, 0),
-        ("conservative", &conservative.instance, conservative.saved_moves),
-        ("aggressive", &aggressive.instance, aggressive.saved_moves),
+    for (label, mode) in [
+        ("off", CoalesceMode::Off),
+        ("conservative", CoalesceMode::Conservative),
+        ("aggressive", CoalesceMode::Aggressive),
     ] {
-        // The layered-optimal allocator needs chordality; aggressive
-        // coalescing may break it, in which case LH takes over.
-        let spill = if inst.is_chordal() {
-            Layered::bfpl().allocate(inst, registers).spill_cost
-        } else {
-            layered_allocation::core::LayeredHeuristic::new()
-                .allocate(inst, registers)
-                .spill_cost
-        };
+        // BFPL requires chordality; rounds whose aggressive quotient
+        // loses it fall back to the uncoalesced graph automatically.
+        let report = AllocationPipeline::new(target)
+            .allocator("BFPL")
+            .registers(registers)
+            .coalescing(mode)
+            .run(&function)
+            .expect("BFPL handles SSA functions");
         println!(
-            "{:>14} {:>9} {:>9} {:>12} {:>12}",
-            name,
-            inst.vertex_count(),
-            inst.is_chordal(),
-            saved,
-            spill,
+            "{:>14} {:>12} {:>12} {:>8} {:>9}",
+            label,
+            report.saved_moves,
+            report.spill_cost,
+            report.rounds,
+            report.verdict.is_feasible(),
         );
     }
     println!();
     println!(
-        "net effect at R={registers}: aggressive coalescing removes {} move-cost units\n\
-         but lengthens live ranges; the spill-cost column shows the price.",
-        aggressive.saved_moves
+        "coalescing removes move-cost units but lengthens live ranges;\n\
+         the spill-cost column shows the price at R = {registers}."
     );
 }

@@ -1,15 +1,14 @@
 //! Sweeps the register count on one synthetic SPEC-like function and
-//! prints the spill cost of every allocator — a miniature of Figure 8.
+//! prints the spill cost of every chordal-figure allocator — a
+//! miniature of Figure 8, driven through the pipeline and the registry.
 //!
 //! Run with: `cargo run --release --example compare_allocators`
 
-use layered_allocation::core::baselines::ChaitinBriggs;
-use layered_allocation::core::layered::Layered;
-use layered_allocation::core::pipeline::{build_instance, InstanceKind};
-use layered_allocation::core::problem::Allocator;
-use layered_allocation::core::Optimal;
-use layered_allocation::ir::genprog::{random_ssa_function, SsaConfig};
-use layered_allocation::targets::{Target, TargetKind};
+use lra::core::pipeline::InstanceKind;
+use lra::core::CHORDAL_FIGURE_SET;
+use lra::ir::genprog::{random_ssa_function, SsaConfig};
+use lra::targets::{Target, TargetKind};
+use lra::AllocationPipeline;
 use rand::SeedableRng;
 
 fn main() {
@@ -26,27 +25,31 @@ fn main() {
     };
     let function = random_ssa_function(&mut rng, &config, "spec-like::hot");
     let target = Target::new(TargetKind::St231);
-    let instance = build_instance(&function, &target, InstanceKind::LinearIntervals);
 
     println!(
-        "function with {} values, MaxLive = {}, total spill weight = {}",
-        instance.vertex_count(),
-        instance.max_live(),
-        instance.total_weight(),
+        "function with {} values (figure columns: {})",
+        function.value_count,
+        CHORDAL_FIGURE_SET.join(", "),
     );
     println!();
-    println!(
-        "{:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "registers", "GC", "NL", "FPL", "BL", "BFPL", "Optimal"
-    );
+    print!("{:>10}", "registers");
+    for name in CHORDAL_FIGURE_SET {
+        print!(" {name:>8}");
+    }
+    println!();
 
     for r in [1u32, 2, 4, 8, 16, 32] {
-        let gc = ChaitinBriggs::new().allocate(&instance, r).spill_cost;
-        let nl = Layered::nl().allocate(&instance, r).spill_cost;
-        let fpl = Layered::fpl().allocate(&instance, r).spill_cost;
-        let bl = Layered::bl().allocate(&instance, r).spill_cost;
-        let bfpl = Layered::bfpl().allocate(&instance, r).spill_cost;
-        let opt = Optimal::new().allocate(&instance, r).spill_cost;
-        println!("{r:>10} {gc:>8} {nl:>8} {fpl:>8} {bl:>8} {bfpl:>8} {opt:>8}");
+        print!("{r:>10}");
+        for name in CHORDAL_FIGURE_SET {
+            let report = AllocationPipeline::new(target)
+                .allocator(name)
+                .instance_kind(InstanceKind::LinearIntervals)
+                .registers(r)
+                .max_rounds(1)
+                .run(&function)
+                .expect("chordal-figure allocators handle SSA inputs");
+            print!(" {:>8}", report.first_round_spill_cost());
+        }
+        println!();
     }
 }

@@ -1,15 +1,14 @@
-//! JIT-style allocation on a non-SSA function: the layered heuristic
-//! (`LH`) against linear scan, Belady linear scan, graph colouring and
-//! the exact optimum — the §6.2 setting of the paper.
+//! JIT-style allocation on a non-SSA function: the JVM figure set
+//! (`DLS`, `BLS`, `GC`, `LH`, `Optimal`) from the registry, each driven
+//! through the pipeline on the view it needs — the §6.2 setting of the
+//! paper.
 //!
 //! Run with: `cargo run --release --example jit_allocation`
 
-use layered_allocation::core::baselines::{BeladyLinearScan, ChaitinBriggs, LinearScan};
-use layered_allocation::core::pipeline::{build_instance, InstanceKind};
-use layered_allocation::core::problem::Allocator;
-use layered_allocation::core::{LayeredHeuristic, Optimal};
-use layered_allocation::ir::genprog::{random_jit_function, JitConfig};
-use layered_allocation::targets::{Target, TargetKind};
+use lra::core::{AllocatorRegistry, JVM_FIGURE_SET};
+use lra::ir::genprog::{random_jit_function, JitConfig};
+use lra::targets::{Target, TargetKind};
+use lra::AllocationPipeline;
 use rand::SeedableRng;
 
 fn main() {
@@ -25,29 +24,30 @@ fn main() {
     let function = random_jit_function(&mut rng, &config, "jvm::method");
     let target = Target::new(TargetKind::ArmCortexA8);
 
-    // Precise (generally non-chordal) graph for the graph allocators;
-    // linearised intervals for the scans.
-    let precise = build_instance(&function, &target, InstanceKind::PreciseGraph);
-    let intervals = build_instance(&function, &target, InstanceKind::LinearIntervals);
-    println!(
-        "method: {} temporaries, {} interferences, chordal = {}",
-        precise.vertex_count(),
-        precise.graph().edge_count(),
-        precise.is_chordal(),
-    );
+    println!("method: {} temporaries (non-SSA)", function.value_count);
     println!();
-    println!("{:>10} {:>12} {:>12}", "registers", "allocator", "spill cost");
+    println!(
+        "{:>10} {:>12} {:>12} {:>8}",
+        "registers", "allocator", "spill cost", "rounds"
+    );
 
     for registers in [4u32, 6, 8] {
-        let rows: Vec<(&str, u64)> = vec![
-            ("DLS", LinearScan::new().allocate(&intervals, registers).spill_cost),
-            ("BLS", BeladyLinearScan::new().allocate(&intervals, registers).spill_cost),
-            ("GC", ChaitinBriggs::new().allocate(&precise, registers).spill_cost),
-            ("LH", LayeredHeuristic::new().allocate(&precise, registers).spill_cost),
-            ("Optimal", Optimal::new().allocate(&precise, registers).spill_cost),
-        ];
-        for (name, cost) in rows {
-            println!("{registers:>10} {name:>12} {cost:>12}");
+        for name in JVM_FIGURE_SET {
+            // Linear scans need the interval over-approximation; the
+            // graph allocators use the precise (non-chordal) graph.
+            let spec = AllocatorRegistry::spec(name).unwrap();
+            let report = AllocationPipeline::new(target)
+                .allocator(name)
+                .instance_kind(spec.default_kind())
+                .registers(registers)
+                .max_rounds(1)
+                .run(&function)
+                .expect("JVM-figure allocators handle JIT methods");
+            println!(
+                "{registers:>10} {name:>12} {:>12} {:>8}",
+                report.first_round_spill_cost(),
+                report.rounds
+            );
         }
         println!();
     }

@@ -4,10 +4,10 @@
 //!
 //! Run with: `cargo run --example paper_figures`
 
-use layered_allocation::core::layered::Layered;
-use layered_allocation::core::problem::{Allocator, Instance};
-use layered_allocation::core::Optimal;
-use layered_allocation::graph::{dot, peo, stable, GraphBuilder, WeightedGraph};
+use lra::core::layered::Layered;
+use lra::core::problem::{Allocator, Instance};
+use lra::core::Optimal;
+use lra::graph::{dot, peo, stable, GraphBuilder, WeightedGraph};
 
 fn figure5_graph() -> WeightedGraph {
     let mut b = GraphBuilder::new(7);
@@ -50,10 +50,17 @@ fn main() {
     let inst = Instance::from_weighted_graph(figure5_graph());
     let nl = Layered::nl().allocate(&inst, 2);
     let bl = Layered::bl().allocate(&inst, 2);
-    println!("NL spill cost = {}, BL spill cost = {}", nl.spill_cost, bl.spill_cost);
+    println!(
+        "NL spill cost = {}, BL spill cost = {}",
+        nl.spill_cost, bl.spill_cost
+    );
     println!(
         "BL allocates {{{}}}",
-        bl.allocated.iter().map(|v| names5[v]).collect::<Vec<_>>().join(", ")
+        bl.allocated
+            .iter()
+            .map(|v| names5[v])
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     println!();
 
@@ -80,9 +87,17 @@ fn main() {
     let fpl = Layered::fpl().allocate(&inst7, 2);
     println!(
         "NL allocates {{{}}} (cost {}), FPL allocates {{{}}} (cost {})",
-        nl.allocated.iter().map(|v| names7[v]).collect::<Vec<_>>().join(", "),
+        nl.allocated
+            .iter()
+            .map(|v| names7[v])
+            .collect::<Vec<_>>()
+            .join(", "),
         nl.spill_cost,
-        fpl.allocated.iter().map(|v| names7[v]).collect::<Vec<_>>().join(", "),
+        fpl.allocated
+            .iter()
+            .map(|v| names7[v])
+            .collect::<Vec<_>>()
+            .join(", "),
         fpl.spill_cost,
     );
     println!();
@@ -94,16 +109,11 @@ fn main() {
     for &(u, v) in &[(0, 1), (1, 2), (2, 3), (1, 3), (3, 4)] {
         g2.add_edge(u, v);
     }
-    let inst2 =
-        Instance::from_weighted_graph(WeightedGraph::new(g2.build(), vec![3, 2, 1, 2, 3]));
+    let inst2 = Instance::from_weighted_graph(WeightedGraph::new(g2.build(), vec![3, 2, 1, 2, 3]));
     let names2 = ["a", "b", "c", "d", "e"];
     for r in [1u32, 2] {
         let opt = Optimal::new().allocate(&inst2, r);
-        let spilled: Vec<&str> = opt
-            .spilled_set(&inst2)
-            .iter()
-            .map(|v| names2[v])
-            .collect();
+        let spilled: Vec<&str> = opt.spilled_set(&inst2).iter().map(|v| names2[v]).collect();
         println!("R = {r}: optimal spill set = {{{}}}", spilled.join(", "));
     }
     println!("(the R=2 spill set is not contained in the R=1 spill set)");

@@ -1,55 +1,75 @@
-//! Quickstart: allocate registers for a small interference graph.
+//! Quickstart: run the full allocation pipeline on a small SSA
+//! function — allocate → spill-code rewrite → reanalyse → assign →
+//! verify — with the allocator selected by name from the registry.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use layered_allocation::core::layered::Layered;
-use layered_allocation::core::problem::{Allocator, Instance};
-use layered_allocation::core::{verify, Optimal};
-use layered_allocation::graph::{GraphBuilder, WeightedGraph};
+use lra::ir::genprog::{random_ssa_function, SsaConfig};
+use lra::targets::{Target, TargetKind};
+use lra::{AllocationPipeline, AllocatorRegistry};
+use rand::SeedableRng;
 
 fn main() {
-    // The weighted chordal graph of Figure 5 of the paper:
-    // a=0, b=1, c=2, d=3, e=4, f=5, g=6.
-    let names = ["a", "b", "c", "d", "e", "f", "g"];
-    let mut b = GraphBuilder::new(7);
-    for &(u, v) in &[
-        (0, 3),
-        (0, 5),
-        (3, 5),
-        (3, 4),
-        (4, 5),
-        (2, 3),
-        (2, 4),
-        (1, 2),
-        (1, 6),
-        (2, 6),
-    ] {
-        b.add_edge(u, v);
-    }
-    let weights = vec![1, 2, 2, 5, 2, 6, 1];
-    let instance = Instance::from_weighted_graph(WeightedGraph::new(b.build(), weights));
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2013);
+    let config = SsaConfig {
+        target_instrs: 80,
+        liveness_window: 12,
+        ..SsaConfig::default()
+    };
+    let function = random_ssa_function(&mut rng, &config, "quickstart::kernel");
+    let target = Target::new(TargetKind::St231);
+    let registers = 4;
 
-    println!("interference graph: {:?}", instance.graph());
-    println!("MaxLive = {}", instance.max_live());
+    // The full pipeline, driven by a registry name.
+    let report = AllocationPipeline::new(target)
+        .allocator("BFPL")
+        .registers(registers)
+        .run(&function)
+        .expect("BFPL is registered and the input is SSA");
+
+    println!(
+        "function {:?}: {} values, MaxLive {} -> {} with R = {}",
+        function.name,
+        function.value_count,
+        report.max_live_before,
+        report.max_live_after,
+        registers,
+    );
+    println!(
+        "{} spilled {} values (cost {}), inserted {} stores + {} loads in {} round(s)",
+        report.allocator,
+        report.spilled_count(),
+        report.spill_cost,
+        report.stores,
+        report.loads,
+        report.rounds,
+    );
+    println!(
+        "assignment uses {} registers; verified feasible = {}",
+        report.assignment.registers_used(),
+        report.verdict.is_feasible(),
+    );
     println!();
 
-    let registers = 2;
-    for allocator in [Layered::nl(), Layered::bl(), Layered::fpl(), Layered::bfpl()] {
-        let result = allocator.allocate(&instance, registers);
-        let allocated: Vec<&str> = result.allocated.iter().map(|v| names[v]).collect();
-        let feasible = verify::check(&instance, &result, registers).is_feasible();
+    // Every registered allocator, selected by name, same entry point.
+    println!(
+        "{:>8} {:>11} {:>8} {:>9}",
+        "alloc", "spill cost", "rounds", "verified"
+    );
+    for name in AllocatorRegistry::names() {
+        let spec = AllocatorRegistry::spec(name).unwrap();
+        let r = AllocationPipeline::new(target)
+            .allocator(name)
+            .instance_kind(spec.default_kind())
+            .registers(registers)
+            .run(&function)
+            .expect("registered allocators handle SSA inputs");
         println!(
-            "{:>5}: allocated {{{}}}, spill cost {}, feasible = {}",
-            allocator.name(),
-            allocated.join(", "),
-            result.spill_cost,
-            feasible,
+            "{:>8} {:>11} {:>8} {:>9}",
+            name,
+            r.spill_cost,
+            r.rounds,
+            r.verdict.is_feasible()
         );
     }
-
-    let opt = Optimal::new().allocate(&instance, registers);
-    println!(
-        "  opt: spill cost {} (the certified optimum)",
-        opt.spill_cost
-    );
 }

@@ -1,15 +1,14 @@
-//! End-to-end SSA pipeline: generate a function, compute liveness and
-//! spill costs, run the layered allocator, insert spill code, and show
-//! that the register pressure actually drops to the target.
+//! End-to-end SSA pipeline: generate a function, print it, then let
+//! [`AllocationPipeline`] run the whole allocate → spill-code rewrite →
+//! reanalyse → assign → verify flow and show that register pressure
+//! actually drops to the target.
 //!
 //! Run with: `cargo run --example ssa_pipeline`
 
-use layered_allocation::core::layered::Layered;
-use layered_allocation::core::pipeline::{build_instance, InstanceKind};
-use layered_allocation::core::problem::Allocator;
-use layered_allocation::ir::genprog::{random_ssa_function, SsaConfig};
-use layered_allocation::ir::{liveness, pretty, spill_code};
-use layered_allocation::targets::{Target, TargetKind};
+use lra::ir::genprog::{random_ssa_function, SsaConfig};
+use lra::ir::{liveness, pretty};
+use lra::targets::{Target, TargetKind};
+use lra::AllocationPipeline;
 use rand::SeedableRng;
 
 fn main() {
@@ -27,32 +26,33 @@ fn main() {
     let function = random_ssa_function(&mut rng, &config, "demo::kernel");
     println!("{}", pretty::print(&function));
 
-    let live = liveness::analyze(&function);
-    println!("MaxLive before allocation: {}", live.max_live);
-
     let target = Target::new(TargetKind::St231).with_register_count(4);
-    let instance = build_instance(&function, &target, InstanceKind::PreciseGraph);
-    println!(
-        "interference graph: {} variables, {} interferences, chordal = {}",
-        instance.vertex_count(),
-        instance.graph().edge_count(),
-        instance.is_chordal(),
-    );
+    let report = AllocationPipeline::new(target)
+        .allocator("BFPL")
+        .run(&function)
+        .expect("BFPL handles SSA functions");
 
-    let registers = target.register_count();
-    let allocation = Layered::bfpl().allocate(&instance, registers);
+    println!("MaxLive before allocation: {}", report.max_live_before);
     println!(
-        "BFPL with R={}: {} spilled variables, spill cost {}",
-        registers,
-        allocation.spilled_count(&instance),
-        allocation.spill_cost,
+        "BFPL with R={}: {} spilled values, spill cost {}, over {} round(s)",
+        report.registers,
+        report.spilled_count(),
+        report.spill_cost,
+        report.rounds,
     );
-
-    let spilled = allocation.spilled_set(&instance);
-    let (rewritten, stats) = spill_code::insert_spill_code(&function, &spilled);
-    let live_after = liveness::analyze(&rewritten);
     println!(
         "spill code inserted: {} stores, {} loads; MaxLive {} -> {}",
-        stats.stores, stats.loads, live.max_live, live_after.max_live,
+        report.stores, report.loads, report.max_live_before, report.max_live_after,
     );
+    println!(
+        "assignment uses {} registers; converged = {}, verified = {}",
+        report.assignment.registers_used(),
+        report.converged,
+        report.verdict.is_feasible(),
+    );
+
+    // The report's function is the rewritten one — reanalysing it
+    // reproduces max_live_after.
+    let live = liveness::analyze(&report.function);
+    assert_eq!(live.max_live, report.max_live_after);
 }

@@ -9,15 +9,43 @@
 //!   interference, spill costs, spill code, program generators),
 //! * [`targets`] — ST231 and ARM Cortex-A8 cost models,
 //! * [`core`] — the allocators (`NL`/`BL`/`FPL`/`BFPL`/`LH`), the
-//!   baselines (`GC`, `DLS`, `BLS`) and the exact `Optimal` solvers,
+//!   baselines (`GC`, `DLS`, `BLS`), the exact `Optimal` solvers, the
+//!   [`AllocatorRegistry`] that names them all, and the end-to-end
+//!   [`AllocationPipeline`],
 //! * [`mod@bench`] — benchmark suites and the figure runners.
 //!
-//! # Example
+//! The pipeline types are re-exported at the top level: the normal way
+//! to allocate registers for a function is
 //!
 //! ```
-//! use layered_allocation::core::layered::Layered;
-//! use layered_allocation::core::problem::{Allocator, Instance};
-//! use layered_allocation::graph::{Graph, WeightedGraph};
+//! use lra::ir::builder::FunctionBuilder;
+//! use lra::targets::{Target, TargetKind};
+//! use lra::AllocationPipeline;
+//!
+//! // x and y are live together; with one register, one of them spills.
+//! let mut b = FunctionBuilder::new("demo");
+//! let entry = b.entry_block();
+//! let x = b.op(entry, &[]);
+//! let y = b.op(entry, &[x]);
+//! b.op(entry, &[x, y]);
+//! let f = b.finish();
+//!
+//! let report = AllocationPipeline::new(Target::new(TargetKind::St231))
+//!     .allocator("BFPL") // any AllocatorRegistry name works here
+//!     .registers(1)
+//!     .run(&f)
+//!     .expect("BFPL handles every SSA function");
+//! assert!(report.spill_cost > 0);
+//! assert!(report.verdict.is_feasible());
+//! ```
+//!
+//! Lower-level entry points (solving a bare weighted graph, not a
+//! function) remain available through [`core`]:
+//!
+//! ```
+//! use lra::core::layered::Layered;
+//! use lra::core::problem::{Allocator, Instance};
+//! use lra::graph::{Graph, WeightedGraph};
 //!
 //! let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
 //! let inst = Instance::from_weighted_graph(WeightedGraph::new(g, vec![1, 5, 1]));
@@ -33,3 +61,8 @@ pub use lra_core as core;
 pub use lra_graph as graph;
 pub use lra_ir as ir;
 pub use lra_targets as targets;
+
+pub use lra_core::{
+    AllocatedFunction, AllocationPipeline, AllocatorRegistry, AllocatorSpec, CoalesceMode,
+    PipelineError,
+};

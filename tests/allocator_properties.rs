@@ -1,12 +1,12 @@
 //! Property-based tests of the allocator invariants, driven by seeded
 //! random graphs (chordal, interval and general).
 
-use layered_allocation::core::baselines::ChaitinBriggs;
-use layered_allocation::core::layered::Layered;
-use layered_allocation::core::optimal::{branch_bound, chordal_dp, flow};
-use layered_allocation::core::problem::{Allocator, Instance};
-use layered_allocation::core::{verify, LayeredHeuristic, Optimal};
-use layered_allocation::graph::{generate, peo, stable, WeightedGraph};
+use lra::core::baselines::ChaitinBriggs;
+use lra::core::layered::Layered;
+use lra::core::optimal::{branch_bound, chordal_dp, flow};
+use lra::core::problem::{Allocator, Instance};
+use lra::core::{verify, LayeredHeuristic, Optimal};
+use lra::graph::{generate, peo, stable, WeightedGraph};
 use proptest::prelude::*;
 use rand::Rng as _;
 use rand::SeedableRng;
@@ -177,7 +177,7 @@ proptest! {
 /// bigger instances than proptest would comfortably drive.
 #[test]
 fn linear_scan_feasibility_at_scale() {
-    use layered_allocation::core::baselines::LinearScan;
+    use lra::core::baselines::LinearScan;
     for seed in 0..5u64 {
         let inst = interval_instance(seed, 300);
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xabcd);

@@ -2,18 +2,18 @@
 //! register assignment, coalescing, and live-range splitting — used
 //! together as a downstream compiler would.
 
-use layered_allocation::core::coalesce::{aggressive_coalesce, conservative_coalesce};
-use layered_allocation::core::layered::Layered;
-use layered_allocation::core::pipeline::{build_instance, copy_affinities, InstanceKind};
-use layered_allocation::core::problem::Allocator;
-use layered_allocation::core::{assign, verify, LayeredHeuristic, Optimal};
-use layered_allocation::ir::genprog::{random_ssa_function, validate_strict_ssa, SsaConfig};
-use layered_allocation::ir::split::split_at_uses;
-use layered_allocation::targets::{Target, TargetKind};
+use lra::core::coalesce::{aggressive_coalesce, conservative_coalesce};
+use lra::core::layered::Layered;
+use lra::core::pipeline::{build_instance, copy_affinities, InstanceKind};
+use lra::core::problem::Allocator;
+use lra::core::{assign, verify, LayeredHeuristic, Optimal};
+use lra::ir::genprog::{random_ssa_function, validate_strict_ssa, SsaConfig};
+use lra::ir::split::split_at_uses;
+use lra::targets::{Target, TargetKind};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn ssa_function(seed: u64) -> layered_allocation::ir::Function {
+fn ssa_function(seed: u64) -> lra::ir::Function {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let cfg = SsaConfig {
         target_instrs: 100,
@@ -110,8 +110,8 @@ fn split_then_allocate_models_reload_pressure() {
 
 #[test]
 fn ssa_conversion_unlocks_layered_allocation() {
-    use layered_allocation::ir::genprog::{random_jit_function, JitConfig};
-    use layered_allocation::ir::ssa::into_ssa;
+    use lra::ir::genprog::{random_jit_function, JitConfig};
+    use lra::ir::ssa::into_ssa;
     let target = Target::new(TargetKind::ArmCortexA8);
     for seed in 0..4u64 {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -142,7 +142,7 @@ fn generated_copies_show_up_as_affinities() {
         .blocks
         .iter()
         .flat_map(|b| b.instrs.iter())
-        .filter(|i| i.opcode == layered_allocation::ir::Opcode::Copy)
+        .filter(|i| i.opcode == lra::ir::Opcode::Copy)
         .count();
     assert!(copies > 0, "copy_percent: 8 should generate copies");
     let aff = copy_affinities(&f);

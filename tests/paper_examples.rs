@@ -2,11 +2,11 @@
 //! plus quasi-optimality checks on suite samples — the headline claims
 //! of the evaluation, at test scale.
 
-use layered_allocation::core::baselines::ChaitinBriggs;
-use layered_allocation::core::layered::Layered;
-use layered_allocation::core::problem::{Allocator, Instance};
-use layered_allocation::core::{verify, LayeredHeuristic, Optimal};
-use layered_allocation::graph::{GraphBuilder, WeightedGraph};
+use lra::core::baselines::ChaitinBriggs;
+use lra::core::layered::Layered;
+use lra::core::problem::{Allocator, Instance};
+use lra::core::{verify, LayeredHeuristic, Optimal};
+use lra::graph::{GraphBuilder, WeightedGraph};
 use lra_bench::suites;
 
 /// Figure 5/6 graph (a..g = 0..6, weights 1,2,2,5,2,6,1).
@@ -42,7 +42,12 @@ fn figure6_bias_closes_the_gap_to_optimal() {
 fn figure6_all_layered_variants_feasible_across_r() {
     let inst = figure6_instance();
     for r in 0..=4u32 {
-        for alg in [Layered::nl(), Layered::bl(), Layered::fpl(), Layered::bfpl()] {
+        for alg in [
+            Layered::nl(),
+            Layered::bl(),
+            Layered::fpl(),
+            Layered::bfpl(),
+        ] {
             let a = alg.allocate(&inst, r);
             if r > 0 {
                 assert!(
@@ -52,7 +57,11 @@ fn figure6_all_layered_variants_feasible_across_r() {
                 );
             }
             let opt = Optimal::new().allocate(&inst, r);
-            assert!(a.spill_cost >= opt.spill_cost, "{} beat Optimal", alg.name());
+            assert!(
+                a.spill_cost >= opt.spill_cost,
+                "{} beat Optimal",
+                alg.name()
+            );
         }
     }
 }
@@ -71,7 +80,10 @@ fn gc_is_dominated_by_layered_on_the_suite_sample() {
             total_bfpl += Layered::bfpl().allocate(&w.instance, r).spill_cost;
             total_opt += Optimal::new().allocate(&w.instance, r).spill_cost;
         }
-        assert!(total_bfpl <= total_gc, "BFPL ({total_bfpl}) worse than GC ({total_gc}) at R={r}");
+        assert!(
+            total_bfpl <= total_gc,
+            "BFPL ({total_bfpl}) worse than GC ({total_gc}) at R={r}"
+        );
         assert!(total_bfpl >= total_opt);
         // Quasi-optimality: within 10% of optimal on this sample.
         assert!(
@@ -106,7 +118,12 @@ fn monotonicity_in_registers() {
     // More registers never increase any allocator's spill cost — the
     // empirical monotonicity that motivates stepwise allocation (§2.3).
     let inst = figure6_instance();
-    for alg in [Layered::nl(), Layered::bl(), Layered::fpl(), Layered::bfpl()] {
+    for alg in [
+        Layered::nl(),
+        Layered::bl(),
+        Layered::fpl(),
+        Layered::bfpl(),
+    ] {
         let mut prev = u64::MAX;
         for r in 0..=4u32 {
             let cost = alg.allocate(&inst, r).spill_cost;

@@ -1,16 +1,16 @@
 //! End-to-end pipeline tests across all crates: program generation →
 //! analysis → interference → allocation → spill-code insertion.
 
-use layered_allocation::core::baselines::{BeladyLinearScan, ChaitinBriggs, LinearScan};
-use layered_allocation::core::layered::Layered;
-use layered_allocation::core::pipeline::{build_instance, InstanceKind};
-use layered_allocation::core::problem::Allocator;
-use layered_allocation::core::{verify, LayeredHeuristic, Optimal};
-use layered_allocation::ir::genprog::{
+use lra::core::baselines::{BeladyLinearScan, ChaitinBriggs, LinearScan};
+use lra::core::layered::Layered;
+use lra::core::pipeline::{build_instance, InstanceKind};
+use lra::core::problem::Allocator;
+use lra::core::{verify, LayeredHeuristic, Optimal};
+use lra::ir::genprog::{
     random_jit_function, random_ssa_function, validate_strict_ssa, JitConfig, SsaConfig,
 };
-use layered_allocation::ir::{liveness, spill_code};
-use layered_allocation::targets::{Target, TargetKind};
+use lra::ir::{liveness, spill_code};
+use lra::targets::{Target, TargetKind};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -35,7 +35,10 @@ fn full_ssa_pipeline_feasible_for_every_allocator() {
                 BeladyLinearScan::new().allocate(&inst, r),
                 LayeredHeuristic::new().allocate(&inst, r),
             ] {
-                assert!(verify::check(&inst, &a, r).is_feasible(), "seed {seed}, R={r}");
+                assert!(
+                    verify::check(&inst, &a, r).is_feasible(),
+                    "seed {seed}, R={r}"
+                );
                 assert!(a.spill_cost >= opt.spill_cost, "someone beat Optimal");
             }
         }
@@ -54,7 +57,10 @@ fn spilling_the_optimal_set_reduces_pressure_towards_r() {
     let f = random_ssa_function(&mut rng, &cfg, "pressure");
     let before = liveness::analyze(&f).max_live;
     let inst = build_instance(&f, &target, InstanceKind::PreciseGraph);
-    assert!(before > 4, "need real pressure for this test (got {before})");
+    assert!(
+        before > 4,
+        "need real pressure for this test (got {before})"
+    );
 
     let r = 4u32;
     let alloc = Layered::bfpl().allocate(&inst, r);
@@ -68,7 +74,10 @@ fn spilling_the_optimal_set_reduces_pressure_towards_r() {
     );
     // Reload operands keep some residual pressure (§4.3), but the bulk
     // of the long ranges is gone.
-    assert!(after <= r as usize + 3, "residual pressure too high: {after}");
+    assert!(
+        after <= r as usize + 3,
+        "residual pressure too high: {after}"
+    );
 }
 
 #[test]
@@ -109,7 +118,11 @@ fn arm_target_costs_differ_from_st231() {
     // The ABI/latency model must actually flow into the costs.
     let mut rng = ChaCha8Rng::seed_from_u64(17);
     let f = random_ssa_function(&mut rng, &SsaConfig::default(), "t");
-    let st = build_instance(&f, &Target::new(TargetKind::St231), InstanceKind::PreciseGraph);
+    let st = build_instance(
+        &f,
+        &Target::new(TargetKind::St231),
+        InstanceKind::PreciseGraph,
+    );
     let arm = build_instance(
         &f,
         &Target::new(TargetKind::ArmCortexA8),

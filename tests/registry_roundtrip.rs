@@ -1,0 +1,108 @@
+//! Registry round-trip tests (ISSUE 1 satellite): every allocator name
+//! listed by `AllocatorRegistry` resolves, allocates a small instance,
+//! and survives `verify` — both at the instance level and through the
+//! `AllocationPipeline`.
+
+use lra::core::pipeline::InstanceKind;
+use lra::core::problem::Instance;
+use lra::core::{verify, AllocatorRegistry};
+use lra::graph::Interval;
+use lra::targets::{Target, TargetKind};
+use lra::AllocationPipeline;
+
+/// A small interval instance: chordal *and* interval-backed, so every
+/// registered allocator — including the linear scans — can solve it.
+fn small_interval_instance() -> Instance {
+    let intervals = vec![
+        Interval::new(0, 6),
+        Interval::new(1, 4),
+        Interval::new(2, 9),
+        Interval::new(5, 11),
+        Interval::new(7, 12),
+        Interval::new(8, 10),
+        Interval::new(3, 5),
+        Interval::new(10, 14),
+    ];
+    let weights = vec![4, 7, 2, 9, 1, 6, 3, 5];
+    Instance::from_intervals(intervals, weights)
+}
+
+#[test]
+fn every_listed_name_resolves_allocates_and_verifies() {
+    let inst = small_interval_instance();
+    let names = AllocatorRegistry::names();
+    assert_eq!(
+        names,
+        vec!["NL", "BL", "FPL", "BFPL", "LH", "GC", "DLS", "BLS", "Optimal"],
+        "registry advertises the paper's allocator set"
+    );
+    for name in names {
+        let allocator = AllocatorRegistry::get(name)
+            .unwrap_or_else(|| panic!("{name} listed but not resolvable"));
+        assert_eq!(allocator.name(), name);
+        for r in [1u32, 2, 3] {
+            let alloc = allocator.allocate(&inst, r);
+            assert!(
+                verify::check(&inst, &alloc, r).is_feasible(),
+                "{name} produced an infeasible allocation at R={r}"
+            );
+            assert_eq!(
+                alloc.spill_cost + alloc.allocated_weight,
+                inst.total_weight(),
+                "{name}: cost bookkeeping broken"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_listed_name_runs_through_the_pipeline() {
+    use lra::ir::builder::FunctionBuilder;
+    // A small hand-built SSA diamond with real pressure.
+    let mut b = FunctionBuilder::new("roundtrip");
+    let e = b.entry_block();
+    let l = b.block();
+    let r_ = b.block();
+    let j = b.block();
+    b.set_succs(e, &[l, r_]);
+    b.set_succs(l, &[j]);
+    b.set_succs(r_, &[j]);
+    let a = b.op(e, &[]);
+    let c = b.op(e, &[a]);
+    let xl = b.op(l, &[a, c]);
+    let xr = b.op(r_, &[c]);
+    let m = b.phi(j, &[xl, xr]);
+    b.op(j, &[m, a]);
+    let f = b.finish();
+
+    let target = Target::new(TargetKind::ArmCortexA8);
+    for spec in AllocatorRegistry::specs() {
+        // Interval-backed instances satisfy both the chordality and the
+        // interval requirements, so one view fits all allocators.
+        let report = AllocationPipeline::new(target)
+            .allocator(spec.name)
+            .instance_kind(InstanceKind::LinearIntervals)
+            .registers(2)
+            .max_rounds(4)
+            .run(&f)
+            .unwrap_or_else(|e| panic!("{}: pipeline error {e}", spec.name));
+        assert!(
+            report.verdict.is_feasible(),
+            "{}: pipeline result failed verification",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn unknown_names_are_rejected_with_the_full_listing() {
+    assert!(AllocatorRegistry::get("does-not-exist").is_none());
+    let err = AllocationPipeline::new(Target::new(TargetKind::St231))
+        .allocator("does-not-exist")
+        .run(&lra::ir::builder::FunctionBuilder::new("empty").finish())
+        .unwrap_err();
+    let msg = err.to_string();
+    for name in AllocatorRegistry::names() {
+        assert!(msg.contains(name), "error message should list {name}");
+    }
+}
