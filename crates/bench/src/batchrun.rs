@@ -1,0 +1,276 @@
+//! The `lra-bench batch` / `record` corpora and the persisted
+//! benchmark baseline (`BENCH_batch.json`).
+//!
+//! [`standard_experiments`] defines the corpora the CLI batches over:
+//! the SPEC JVM98 JIT methods (non-chordal, `LH`) and the random
+//! lao-kernels SSA suite (`BFPL`). `batch` renders each
+//! [`lra_core::BatchReport`] deterministically (timings go to stderr),
+//! so CI can diff two runs — and a `--threads 4` run against the
+//! sequential path — byte for byte.
+//!
+//! [`record`] reruns the same corpora at several worker counts,
+//! takes per-experiment **median** wall-clock times, and writes the
+//! `BENCH_batch.json` baseline at the repo root so the perf trajectory
+//! is tracked in-tree (see ROADMAP.md: `BENCH_*.json` convention).
+
+use crate::suites;
+use lra_core::batch::BatchAllocator;
+use lra_core::driver::AllocationPipeline;
+use lra_core::pipeline::InstanceKind;
+use lra_core::BatchReport;
+use lra_ir::Function;
+use lra_targets::{Target, TargetKind};
+use std::time::Duration;
+
+/// One named batch corpus: a pipeline configuration plus the functions
+/// it fans over.
+pub struct BatchExperiment {
+    /// Stable experiment name (`suite/allocator/R`).
+    pub name: String,
+    /// The per-function pipeline configuration.
+    pub pipeline: AllocationPipeline,
+    /// The function corpus, in suite order.
+    pub functions: Vec<Function>,
+}
+
+impl BatchExperiment {
+    /// Runs the corpus on `threads` workers (0 = default).
+    pub fn run(&self, threads: usize) -> BatchReport {
+        BatchAllocator::new(self.pipeline.clone())
+            .threads(threads)
+            .run(&self.functions)
+    }
+}
+
+/// The corpora behind `lra-bench -- batch` and `-- record`: the
+/// random lao-kernels SSA suite under `BFPL` (interval view, R = 4)
+/// and the SPEC JVM98 JIT methods under `LH` (precise non-chordal
+/// graphs, R = 6).
+pub fn standard_experiments(seed: u64) -> Vec<BatchExperiment> {
+    let lao = BatchExperiment {
+        name: "lao-kernels/BFPL/R4".to_string(),
+        pipeline: AllocationPipeline::new(Target::new(TargetKind::ArmCortexA8))
+            .allocator("BFPL")
+            .instance_kind(InstanceKind::LinearIntervals)
+            .registers(4),
+        functions: suites::lao_kernel_functions(seed),
+    };
+    let jvm = BatchExperiment {
+        name: "specjvm98/LH/R6".to_string(),
+        pipeline: AllocationPipeline::new(Target::new(TargetKind::ArmCortexA8))
+            .allocator("LH")
+            .instance_kind(InstanceKind::PreciseGraph)
+            .registers(6),
+        functions: suites::specjvm98_functions(seed),
+    };
+    vec![lao, jvm]
+}
+
+/// One experiment's timing series in the recorded baseline.
+#[derive(Clone, Debug)]
+pub struct RecordedTiming {
+    /// Worker-pool size of this series.
+    pub threads: usize,
+    /// Median wall-clock time over the repetitions, in milliseconds.
+    pub median_ms: f64,
+    /// Repetitions the median was taken over.
+    pub samples: usize,
+}
+
+/// One experiment's entry in the recorded baseline.
+#[derive(Clone, Debug)]
+pub struct RecordedExperiment {
+    /// Experiment name (`suite/allocator/R`).
+    pub name: String,
+    /// Functions in the corpus.
+    pub functions: usize,
+    /// Total spill cost over the corpus (thread-count invariant).
+    pub total_spill_cost: u64,
+    /// Runs that converged.
+    pub converged: usize,
+    /// Runs that hit the round budget / residual-pressure cutoff.
+    pub non_converged: usize,
+    /// Min/Q1/median/Q3/max of per-function spill cost.
+    pub spill_cost_quartiles: Option<[u64; 5]>,
+    /// Wall-clock medians, one per recorded thread count.
+    pub timings: Vec<RecordedTiming>,
+}
+
+/// Records every standard experiment at each of `thread_counts`
+/// (`reps` repetitions each, median taken), panicking if any thread
+/// count renders a different report than the sequential path — the
+/// baseline must never persist non-deterministic numbers.
+///
+/// # Panics
+///
+/// Panics unless `thread_counts` starts with `1`: the sequential run
+/// is the determinism reference, so it must come first.
+pub fn record(seed: u64, thread_counts: &[usize], reps: usize) -> Vec<RecordedExperiment> {
+    assert_eq!(
+        thread_counts.first(),
+        Some(&1),
+        "thread_counts must start with 1 (the sequential determinism reference)"
+    );
+    standard_experiments(seed)
+        .iter()
+        .map(|exp| {
+            // The first sample doubles as the determinism reference
+            // (thread_counts starts at 1, so it is the sequential
+            // path) — no extra untimed warm-up sweep.
+            let mut reference: Option<(String, lra_core::BatchSummary)> = None;
+            let mut timings = Vec::new();
+            for &threads in thread_counts {
+                let mut samples: Vec<Duration> = (0..reps.max(1))
+                    .map(|_| {
+                        let report = exp.run(threads);
+                        match &reference {
+                            Some((render, _)) => assert_eq!(
+                                &report.render(),
+                                render,
+                                "{}: non-deterministic batch output at {threads} threads",
+                                exp.name
+                            ),
+                            None => {
+                                reference = Some((report.render(), report.summary.clone()));
+                            }
+                        }
+                        report.elapsed
+                    })
+                    .collect();
+                samples.sort();
+                timings.push(RecordedTiming {
+                    threads,
+                    median_ms: samples[samples.len() / 2].as_secs_f64() * 1e3,
+                    samples: samples.len(),
+                });
+            }
+            let (_, m) = reference.expect("at least one thread count and one rep");
+            RecordedExperiment {
+                name: exp.name.clone(),
+                functions: m.functions,
+                total_spill_cost: m.total_spill_cost,
+                converged: m.converged,
+                non_converged: m.non_converged,
+                spill_cost_quartiles: m.spill_cost_quartiles,
+                timings,
+            }
+        })
+        .collect()
+}
+
+/// Serialises recorded experiments as the `BENCH_batch.json` document
+/// (hand-rolled: the build environment has no serde).
+pub fn to_json(seed: u64, experiments: &[RecordedExperiment]) -> String {
+    use std::fmt::Write as _;
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"lra-bench/batch-v1\",");
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    s.push_str("  \"experiments\": [\n");
+    for (i, e) in experiments.iter().enumerate() {
+        s.push_str("    {\n");
+        let _ = writeln!(s, "      \"name\": \"{}\",", escape(&e.name));
+        let _ = writeln!(s, "      \"functions\": {},", e.functions);
+        let _ = writeln!(s, "      \"total_spill_cost\": {},", e.total_spill_cost);
+        let _ = writeln!(s, "      \"converged\": {},", e.converged);
+        let _ = writeln!(s, "      \"non_converged\": {},", e.non_converged);
+        match e.spill_cost_quartiles {
+            Some([min, q1, med, q3, max]) => {
+                let _ = writeln!(
+                    s,
+                    "      \"spill_cost_quartiles\": [{min}, {q1}, {med}, {q3}, {max}],"
+                );
+            }
+            None => {
+                let _ = writeln!(s, "      \"spill_cost_quartiles\": null,");
+            }
+        }
+        s.push_str("      \"timings\": [\n");
+        for (j, t) in e.timings.iter().enumerate() {
+            let _ = write!(
+                s,
+                "        {{\"threads\": {}, \"median_ms\": {:.3}, \"samples\": {}}}",
+                t.threads, t.median_ms, t.samples
+            );
+            s.push_str(if j + 1 < e.timings.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("      ]\n");
+        s.push_str(if i + 1 < experiments.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_experiments_have_both_corpora() {
+        let exps = standard_experiments(3);
+        assert_eq!(exps.len(), 2);
+        assert!(exps[0].name.starts_with("lao-kernels/"));
+        assert!(exps[1].name.starts_with("specjvm98/"));
+        assert!(!exps[0].functions.is_empty());
+        assert!(!exps[1].functions.is_empty());
+    }
+
+    #[test]
+    fn record_produces_valid_json_with_two_thread_counts() {
+        // One rep per thread count keeps this fast enough for debug
+        // CI while still driving record()'s sample/median/reference
+        // loop end to end on the real corpora.
+        let recorded = record(3, &[1, 2], 1);
+        assert_eq!(recorded.len(), 2);
+        for e in &recorded {
+            assert_eq!(e.timings.len(), 2);
+            assert_eq!(e.timings[0].threads, 1);
+            assert_eq!(e.timings[1].threads, 2);
+            assert!(e.timings.iter().all(|t| t.samples == 1));
+            assert!(e.timings.iter().all(|t| t.median_ms > 0.0));
+            assert!(e.functions > 0);
+        }
+
+        let json = to_json(3, &recorded);
+        assert!(json.contains("\"schema\": \"lra-bench/batch-v1\""));
+        assert!(json.contains("\"threads\": 1"));
+        assert!(json.contains("\"threads\": 2"));
+        // Balanced braces/brackets — cheap structural sanity check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_backslashes_in_names() {
+        let rec = RecordedExperiment {
+            name: "odd\"name\\here".to_string(),
+            functions: 1,
+            total_spill_cost: 0,
+            converged: 1,
+            non_converged: 0,
+            spill_cost_quartiles: None,
+            timings: vec![RecordedTiming {
+                threads: 1,
+                median_ms: 1.0,
+                samples: 1,
+            }],
+        };
+        let json = to_json(0, &[rec]);
+        assert!(json.contains("odd\\\"name\\\\here"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must start with 1")]
+    fn record_rejects_thread_counts_without_sequential_reference() {
+        let _ = record(3, &[2, 4], 1);
+    }
+}

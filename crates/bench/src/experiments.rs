@@ -5,9 +5,18 @@
 //! register count, exactly as in the paper. Programs whose optimal cost
 //! is zero at a given `R` (no spilling needed) are excluded from that
 //! configuration's normalised statistics.
+//!
+//! Every runner fans its per-function work across the
+//! [`lra_core::batch`] worker pool — pipeline sweeps go through
+//! [`BatchAllocator`], instance-level studies through
+//! [`batch::parallel_map`] — with the worker count resolved by
+//! [`batch::default_threads`] (the CLI's `--threads` flag). The
+//! figures are aggregates of per-function results combined in input
+//! order, so the numbers are identical at any thread count.
 
 use crate::stats::{self, FiveNum};
 use crate::suites::Workload;
+use lra_core::batch::{self, BatchAllocator};
 use lra_core::driver::AllocationPipeline;
 use lra_core::layered::Layered;
 use lra_core::pipeline::InstanceKind;
@@ -50,59 +59,87 @@ fn jvm_columns() -> Vec<Column> {
     columns(&JVM_FIGURE_SET)
 }
 
-/// Drives the full [`AllocationPipeline`] (allocate → spill-code
-/// rewrite → assign → verify) on one workload and returns the paper's
-/// metric: the first-round spill-everywhere allocation cost.
-fn pipeline_cost(w: &Workload, col: &Column, r: u32) -> u64 {
-    // Linear scans must see intervals; everyone else uses the suite's
-    // native view (interval for the SSA suites, precise for JVM).
-    let kind = if col.needs_intervals {
+/// The instance view `col` must see for `w`: linear scans need
+/// intervals; everyone else uses the suite's native view (interval for
+/// the SSA suites, precise for JVM).
+fn view_for(w: &Workload, col: &Column) -> InstanceKind {
+    if col.needs_intervals {
         InstanceKind::LinearIntervals
     } else {
         w.kind
-    };
-    let report = AllocationPipeline::new(w.target)
-        .allocator(col.name)
-        .instance_kind(kind)
-        .registers(r)
-        .max_rounds(1)
-        .run(&w.ir)
-        .unwrap_or_else(|e| panic!("{} on {}: {e}", col.name, w.function));
-    debug_assert!(
-        report.verdict.is_feasible(),
-        "{} produced an infeasible allocation on {}",
-        col.name,
-        w.function
-    );
-    report.first_round_spill_cost()
+    }
 }
 
-/// Per-program absolute costs for one algorithm at one register count.
+/// Per-program absolute costs for one algorithm at one register count:
+/// the paper's metric (first-round spill-everywhere allocation cost),
+/// produced by fanning the full [`AllocationPipeline`] (allocate →
+/// spill-code rewrite → assign → verify) over the workloads with a
+/// [`BatchAllocator`] and summing per program.
+///
+/// Workloads are batched per `(target, view)` configuration — one
+/// batch per suite in practice, since suites are homogeneous.
 fn per_program_costs(workloads: &[Workload], col: &Column, r: u32) -> BTreeMap<&'static str, u64> {
     let mut acc: BTreeMap<&'static str, u64> = BTreeMap::new();
-    for w in workloads {
-        *acc.entry(w.program).or_insert(0) += pipeline_cost(w, col, r);
+    // Group indices by pipeline configuration without requiring
+    // Ord/Hash on Target; the group count is tiny.
+    let mut groups: Vec<(lra_targets::Target, InstanceKind, Vec<usize>)> = Vec::new();
+    for (i, w) in workloads.iter().enumerate() {
+        let kind = view_for(w, col);
+        match groups
+            .iter_mut()
+            .find(|(t, k, _)| *t == w.target && *k == kind)
+        {
+            Some((_, _, idxs)) => idxs.push(i),
+            None => groups.push((w.target, kind, vec![i])),
+        }
+    }
+    for (target, kind, idxs) in groups {
+        let pipeline = AllocationPipeline::new(target)
+            .allocator(col.name)
+            .instance_kind(kind)
+            .registers(r)
+            .max_rounds(1);
+        let functions: Vec<&lra_ir::Function> = idxs.iter().map(|&i| &workloads[i].ir).collect();
+        let report = BatchAllocator::new(pipeline).run_refs(&functions);
+        for (item, &i) in report.items.iter().zip(&idxs) {
+            let w = &workloads[i];
+            let r = match &item.outcome {
+                Ok(r) => r,
+                Err(e) => panic!("{} on {}: {e}", col.name, w.function),
+            };
+            debug_assert!(
+                r.verdict.is_feasible(),
+                "{} produced an infeasible allocation on {}",
+                col.name,
+                w.function
+            );
+            *acc.entry(w.program).or_insert(0) += r.first_round_spill_cost();
+        }
     }
     acc
 }
 
 /// Per-program costs for a custom instance-level cost function — used
 /// by the parameterised studies (ablation, threshold sweeps) whose
-/// configured allocators are not registry entries.
+/// configured allocators are not registry entries. Fans over the
+/// workloads with [`batch::parallel_map`].
 fn per_program_costs_with(
     workloads: &[Workload],
     linear_scan_view: bool,
     r: u32,
-    run: impl Fn(&Instance, u32) -> u64,
+    run: impl Fn(&Instance, u32) -> u64 + Sync,
 ) -> BTreeMap<&'static str, u64> {
-    let mut acc: BTreeMap<&'static str, u64> = BTreeMap::new();
-    for w in workloads {
+    let costs = batch::parallel_map(workloads, batch::default_threads(), |_, w| {
         let inst = if linear_scan_view {
             w.linear_scan_instance()
         } else {
             &w.instance
         };
-        *acc.entry(w.program).or_insert(0) += run(inst, r);
+        run(inst, r)
+    });
+    let mut acc: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for (w, c) in workloads.iter().zip(costs) {
+        *acc.entry(w.program).or_insert(0) += c;
     }
     acc
 }
@@ -385,9 +422,9 @@ pub struct InclusionStats {
 /// maximises overlap with the previous allocation.
 pub fn spill_set_inclusion_study(workloads: &[Workload], rs: &[u32]) -> InclusionStats {
     use lra_core::problem::Instance;
-    let mut monotone = 0;
-    let mut total = 0;
-    for w in workloads {
+    // Each function's register sweep is independent; fan functions
+    // across the pool (the sweep itself is inherently sequential).
+    let per_function = batch::parallel_map(workloads, batch::default_threads(), |_, w| {
         let base = w.linear_scan_instance();
         let wg = base.weighted_graph();
         let n = wg.vertex_count() as u64;
@@ -412,12 +449,12 @@ pub fn spill_set_inclusion_study(workloads: &[Workload], rs: &[u32]) -> Inclusio
             }
             prev_alloc = Some(a.allocated);
         }
-        total += 1;
-        if ok {
-            monotone += 1;
-        }
+        ok
+    });
+    InclusionStats {
+        monotone: per_function.iter().filter(|&&ok| ok).count(),
+        total: per_function.len(),
     }
-    InclusionStats { monotone, total }
 }
 
 /// Sweeps the `BLS` cost-band threshold and reports the mean normalised
@@ -480,15 +517,17 @@ pub fn split_study(
     let target = target.with_memory_costs(target.load_cost(), 0);
     rs.iter()
         .map(|&r| {
-            let mut whole = 0u64;
-            let mut split = 0u64;
-            for f in functions {
+            let costs = batch::parallel_map(functions, batch::default_threads(), |_, f| {
                 let a = build_instance(f, &target, InstanceKind::LinearIntervals);
-                whole += Optimal::new().allocate(&a, r).spill_cost;
+                let whole = Optimal::new().allocate(&a, r).spill_cost;
                 let s = split_at_uses(f);
                 let b = build_instance(&s.function, &target, InstanceKind::LinearIntervals);
-                split += Optimal::new().allocate(&b, r).spill_cost;
-            }
+                let split = Optimal::new().allocate(&b, r).spill_cost;
+                (whole, split)
+            });
+            let (whole, split) = costs
+                .iter()
+                .fold((0u64, 0u64), |(w, s), &(cw, cs)| (w + cw, s + cs));
             SplitRow {
                 registers: r,
                 whole_ranges: whole,
@@ -553,9 +592,27 @@ pub fn ssa_conversion_study(
     use lra_core::pipeline::build_instance;
     use lra_core::LayeredHeuristic;
     use lra_ir::ssa::into_ssa;
-    let converted: Vec<lra_ir::Function> = functions.iter().map(|f| into_ssa(f).function).collect();
+    let converted: Vec<lra_ir::Function> =
+        batch::parallel_map(functions, batch::default_threads(), |_, f| {
+            into_ssa(f).function
+        });
+    let pairs: Vec<(&lra_ir::Function, &lra_ir::Function)> =
+        functions.iter().zip(&converted).collect();
     rs.iter()
         .map(|&r| {
+            let cells = batch::parallel_map(&pairs, batch::default_threads(), |_, &(f, s)| {
+                let orig = build_instance(f, target, InstanceKind::PreciseGraph);
+                // The SSA side uses the linearised-interval view: still
+                // chordal (intervals), and the exact optimum stays
+                // polynomial (min-cost flow) at SSA-converted sizes.
+                let ssa = build_instance(s, target, InstanceKind::LinearIntervals);
+                [
+                    LayeredHeuristic::new().allocate(&orig, r).spill_cost,
+                    Optimal::new().allocate(&orig, r).spill_cost,
+                    Layered::bfpl().allocate(&ssa, r).spill_cost,
+                    Optimal::new().allocate(&ssa, r).spill_cost,
+                ]
+            });
             let mut row = SsaConversionRow {
                 registers: r,
                 lh_non_ssa: 0,
@@ -563,16 +620,11 @@ pub fn ssa_conversion_study(
                 bfpl_ssa: 0,
                 opt_ssa: 0,
             };
-            for (f, s) in functions.iter().zip(&converted) {
-                let orig = build_instance(f, target, InstanceKind::PreciseGraph);
-                row.lh_non_ssa += LayeredHeuristic::new().allocate(&orig, r).spill_cost;
-                row.opt_non_ssa += Optimal::new().allocate(&orig, r).spill_cost;
-                // The SSA side uses the linearised-interval view: still
-                // chordal (intervals), and the exact optimum stays
-                // polynomial (min-cost flow) at SSA-converted sizes.
-                let ssa = build_instance(s, target, InstanceKind::LinearIntervals);
-                row.bfpl_ssa += Layered::bfpl().allocate(&ssa, r).spill_cost;
-                row.opt_ssa += Optimal::new().allocate(&ssa, r).spill_cost;
+            for [lh, on, bf, os] in cells {
+                row.lh_non_ssa += lh;
+                row.opt_non_ssa += on;
+                row.bfpl_ssa += bf;
+                row.opt_ssa += os;
             }
             row
         })

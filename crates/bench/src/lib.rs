@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batchrun;
 pub mod experiments;
 pub mod stats;
 pub mod suites;

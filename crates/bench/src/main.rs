@@ -1,13 +1,20 @@
-//! Experiment CLI: regenerates every figure of the paper's evaluation.
+//! Experiment CLI: regenerates every figure of the paper's evaluation
+//! and drives the parallel batch allocator.
 //!
 //! ```text
-//! cargo run --release -p lra-bench -- all          # every figure
-//! cargo run --release -p lra-bench -- fig8         # one figure
+//! cargo run --release -p lra-bench -- all              # every figure
+//! cargo run --release -p lra-bench -- fig8             # one figure
 //! cargo run --release -p lra-bench -- fig14 --seed 7
+//! cargo run --release -p lra-bench -- batch --threads 4
+//! cargo run --release -p lra-bench -- record           # BENCH_batch.json
 //! ```
 //!
 //! Tables are printed to stdout and mirrored as CSV under
-//! `target/experiments/`.
+//! `target/experiments/`. `batch` prints a **deterministic** report to
+//! stdout (identical at any `--threads` setting; timings go to
+//! stderr); `record` persists median wall-clock baselines to
+//! `BENCH_batch.json` at the repo root. `--threads N` also sets the
+//! worker count every figure runner fans out with.
 
 use lra_bench::experiments::{
     self, distribution_figure, jvm_mean_figure, jvm_per_benchmark_figure, mean_cost_figure,
@@ -18,9 +25,61 @@ use std::io::Write as _;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lra-bench <fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablation|inclusion|bls-sweep|split|ssa|stats|pipeline|all> [--seed N]"
+        "usage: lra-bench <fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablation|inclusion|bls-sweep|split|ssa|stats|pipeline|batch|record|all> [--seed N] [--threads N] [--out PATH]"
     );
     std::process::exit(2)
+}
+
+/// `batch`: fan the standard corpora (lao-kernels + SPEC JVM98) across
+/// the worker pool and print the deterministic per-corpus reports.
+fn run_batch(seed: u64, threads: usize) {
+    for exp in lra_bench::batchrun::standard_experiments(seed) {
+        let report = exp.run(threads);
+        println!(
+            "# Batch allocation: {} ({} functions)",
+            exp.name,
+            exp.functions.len()
+        );
+        print!("{}", report.render());
+        println!();
+        eprintln!(
+            "({}: {} workers, {:.1} ms wall-clock)",
+            exp.name,
+            report.threads,
+            report.elapsed.as_secs_f64() * 1e3
+        );
+    }
+}
+
+/// `record`: re-run the standard corpora at several worker counts and
+/// persist the median wall-clock baselines (plus spill aggregates) as
+/// `BENCH_batch.json`.
+fn run_record(seed: u64, out: &str) {
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut thread_counts = vec![1usize, 2];
+    if available >= 4 {
+        thread_counts.push(4);
+    }
+    let recorded = lra_bench::batchrun::record(seed, &thread_counts, 3);
+    let json = lra_bench::batchrun::to_json(seed, &recorded);
+    std::fs::write(out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    for e in &recorded {
+        let base = e.timings.first().map_or(0.0, |t| t.median_ms);
+        for t in &e.timings {
+            eprintln!(
+                "{}: {} threads -> median {:.1} ms (x{:.2})",
+                e.name,
+                t.threads,
+                t.median_ms,
+                if t.median_ms > 0.0 {
+                    base / t.median_ms
+                } else {
+                    0.0
+                }
+            );
+        }
+    }
+    println!("baselines written to {out}");
 }
 
 /// `pipeline`: run every registered allocator end to end (allocate →
@@ -90,6 +149,8 @@ fn main() {
         usage();
     }
     let mut seed = 2013u64; // CGO 2013
+    let mut threads = 0usize; // 0 = auto (available_parallelism)
+    let mut out = "BENCH_batch.json".to_string();
     let mut which = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -99,6 +160,15 @@ fn main() {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                out = it.next().cloned().unwrap_or_else(|| usage());
             }
             "all" => which.extend([
                 "fig8",
@@ -116,6 +186,7 @@ fn main() {
                 "ssa",
                 "stats",
                 "pipeline",
+                "batch",
             ]),
             "fig8" => which.push("fig8"),
             "fig9" => which.push("fig9"),
@@ -132,9 +203,15 @@ fn main() {
             "ssa" => which.push("ssa"),
             "stats" => which.push("stats"),
             "pipeline" => which.push("pipeline"),
+            "batch" => which.push("batch"),
+            "record" => which.push("record"),
             _ => usage(),
         }
     }
+
+    // Every figure runner and suite sweep fans out through the batch
+    // pool; --threads pins its worker count process-wide.
+    lra_core::batch::set_default_threads(threads);
 
     // Generate only the suites the requested figures need.
     let needs = |names: &[&str]| which.iter().any(|f| names.contains(f));
@@ -297,6 +374,8 @@ fn main() {
                 );
             }
             "pipeline" => run_pipeline_demo(seed),
+            "batch" => run_batch(seed, threads),
+            "record" => run_record(seed, &out),
             "stats" => {
                 for (title, suite) in [
                     ("SPEC CPU2000int workload shape", "spec"),

@@ -19,6 +19,7 @@
 //! guarantees) and the exact optimum is available at any scale via
 //! min-cost flow — this is the substitution for the paper's ILP.
 
+use lra_core::batch;
 use lra_core::pipeline::{build_instance, InstanceKind};
 use lra_core::problem::Instance;
 use lra_ir::genprog::{random_jit_function, random_ssa_function, JitConfig, SsaConfig};
@@ -102,122 +103,153 @@ fn mix(seed: u64, salt: &str, k: u64) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(h.wrapping_add(k.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
 }
 
+/// Generates the `programs × per_program` entries of one suite
+/// (workloads, or bare functions for the corpus-only callers) on the
+/// [`lra_core::batch`] worker pool. Every entry is produced from its
+/// own [`mix`]-seeded RNG (seeding stays per-function), so the
+/// parallel sweep is byte-identical to the old sequential loop —
+/// `parallel_map` returns results in key order.
+fn generate_suite<T: Send>(
+    programs: &'static [&'static str],
+    per_program: u64,
+    gen: impl Fn(&'static str, u64) -> T + Sync,
+) -> Vec<T> {
+    let keys: Vec<(&'static str, u64)> = programs
+        .iter()
+        .flat_map(|&p| (0..per_program).map(move |k| (p, k)))
+        .collect();
+    batch::parallel_map(&keys, batch::default_threads(), |_, &(p, k)| gen(p, k))
+}
+
 /// SPEC CPU2000int on ST231: larger mixed functions with calls and
 /// moderate loop nesting.
 pub fn spec2000int(seed: u64) -> Vec<Workload> {
     let target = Target::new(TargetKind::St231);
-    let mut out = Vec::new();
-    for program in SPEC2000INT_PROGRAMS {
-        for k in 0..5u64 {
-            let mut rng = mix(seed, program, k);
-            let cfg = SsaConfig {
-                target_instrs: rng.gen_range(140..=360),
-                max_loop_depth: 3,
-                branch_percent: 22,
-                loop_percent: 10,
-                call_percent: 7,
-                copy_percent: 0,
-                params: rng.gen_range(2..=6),
-                liveness_window: rng.gen_range(16..=40),
-            };
-            let f = random_ssa_function(&mut rng, &cfg, format!("{program}::f{k}"));
-            let instance = build_instance(&f, &target, InstanceKind::LinearIntervals);
-            out.push(Workload {
-                suite: "spec2000int",
-                program,
-                function: f.name.clone(),
-                ir: f,
-                target,
-                kind: InstanceKind::LinearIntervals,
-                instance,
-                interval_instance: None,
-            });
+    generate_suite(&SPEC2000INT_PROGRAMS, 5, |program, k| {
+        let mut rng = mix(seed, program, k);
+        let cfg = SsaConfig {
+            target_instrs: rng.gen_range(140..=360),
+            max_loop_depth: 3,
+            branch_percent: 22,
+            loop_percent: 10,
+            call_percent: 7,
+            copy_percent: 0,
+            params: rng.gen_range(2..=6),
+            liveness_window: rng.gen_range(16..=40),
+        };
+        let f = random_ssa_function(&mut rng, &cfg, format!("{program}::f{k}"));
+        let instance = build_instance(&f, &target, InstanceKind::LinearIntervals);
+        Workload {
+            suite: "spec2000int",
+            program,
+            function: f.name.clone(),
+            ir: f,
+            target,
+            kind: InstanceKind::LinearIntervals,
+            instance,
+            interval_instance: None,
         }
-    }
-    out
+    })
 }
 
 /// EEMBC on ST231: small, loop-dominated embedded kernels.
 pub fn eembc(seed: u64) -> Vec<Workload> {
     let target = Target::new(TargetKind::St231);
-    let mut out = Vec::new();
-    for program in EEMBC_PROGRAMS {
-        for k in 0..3u64 {
-            let mut rng = mix(seed, program, k);
-            let cfg = SsaConfig {
-                target_instrs: rng.gen_range(60..=160),
-                max_loop_depth: 3,
-                branch_percent: 12,
-                loop_percent: 20,
-                call_percent: 2,
-                copy_percent: 0,
-                params: rng.gen_range(2..=4),
-                liveness_window: rng.gen_range(10..=26),
-            };
-            let f = random_ssa_function(&mut rng, &cfg, format!("{program}::k{k}"));
-            let instance = build_instance(&f, &target, InstanceKind::LinearIntervals);
-            out.push(Workload {
-                suite: "eembc",
-                program,
-                function: f.name.clone(),
-                ir: f,
-                target,
-                kind: InstanceKind::LinearIntervals,
-                instance,
-                interval_instance: None,
-            });
+    generate_suite(&EEMBC_PROGRAMS, 3, |program, k| {
+        let mut rng = mix(seed, program, k);
+        let cfg = SsaConfig {
+            target_instrs: rng.gen_range(60..=160),
+            max_loop_depth: 3,
+            branch_percent: 12,
+            loop_percent: 20,
+            call_percent: 2,
+            copy_percent: 0,
+            params: rng.gen_range(2..=4),
+            liveness_window: rng.gen_range(10..=26),
+        };
+        let f = random_ssa_function(&mut rng, &cfg, format!("{program}::k{k}"));
+        let instance = build_instance(&f, &target, InstanceKind::LinearIntervals);
+        Workload {
+            suite: "eembc",
+            program,
+            function: f.name.clone(),
+            ir: f,
+            target,
+            kind: InstanceKind::LinearIntervals,
+            instance,
+            interval_instance: None,
         }
-    }
-    out
+    })
+}
+
+/// The IR generator behind [`lao_kernels`] and
+/// [`lao_kernel_functions`] — one function per `(program, k)` key.
+fn lao_kernel_ir(seed: u64, program: &'static str, k: u64) -> lra_ir::Function {
+    let mut rng = mix(seed, program, k);
+    let cfg = SsaConfig {
+        target_instrs: rng.gen_range(35..=90),
+        max_loop_depth: 2,
+        branch_percent: 10,
+        loop_percent: 24,
+        call_percent: 1,
+        copy_percent: 0,
+        params: rng.gen_range(2..=4),
+        liveness_window: rng.gen_range(8..=20),
+    };
+    random_ssa_function(&mut rng, &cfg, format!("{program}::k{k}"))
 }
 
 /// lao-kernels on ARMv7: very small kernels where a single bad
 /// allocation choice dominates the program cost.
 pub fn lao_kernels(seed: u64) -> Vec<Workload> {
     let target = Target::new(TargetKind::ArmCortexA8);
-    let mut out = Vec::new();
-    for program in LAO_KERNELS_PROGRAMS {
-        for k in 0..2u64 {
-            let mut rng = mix(seed, program, k);
-            let cfg = SsaConfig {
-                target_instrs: rng.gen_range(35..=90),
-                max_loop_depth: 2,
-                branch_percent: 10,
-                loop_percent: 24,
-                call_percent: 1,
-                copy_percent: 0,
-                params: rng.gen_range(2..=4),
-                liveness_window: rng.gen_range(8..=20),
-            };
-            let f = random_ssa_function(&mut rng, &cfg, format!("{program}::k{k}"));
-            let instance = build_instance(&f, &target, InstanceKind::LinearIntervals);
-            out.push(Workload {
-                suite: "lao-kernels",
-                program,
-                function: f.name.clone(),
-                ir: f,
-                target,
-                kind: InstanceKind::LinearIntervals,
-                instance,
-                interval_instance: None,
-            });
+    generate_suite(&LAO_KERNELS_PROGRAMS, 2, |program, k| {
+        let f = lao_kernel_ir(seed, program, k);
+        let instance = build_instance(&f, &target, InstanceKind::LinearIntervals);
+        Workload {
+            suite: "lao-kernels",
+            program,
+            function: f.name.clone(),
+            ir: f,
+            target,
+            kind: InstanceKind::LinearIntervals,
+            instance,
+            interval_instance: None,
         }
-    }
-    out
+    })
 }
 
-/// The raw lao-kernels functions (the [`lao_kernels`] workloads minus
-/// the instances) for studies that need to re-transform the IR, such as
-/// the live-range-splitting experiment.
+/// The raw lao-kernels functions for corpus-level callers (the batch
+/// CLI, the splitting study). Skips [`build_instance`] entirely — the
+/// pipeline rebuilds instances per round anyway.
 pub fn lao_kernel_functions(seed: u64) -> Vec<lra_ir::Function> {
-    lao_kernels(seed).into_iter().map(|w| w.ir).collect()
+    generate_suite(&LAO_KERNELS_PROGRAMS, 2, |program, k| {
+        lao_kernel_ir(seed, program, k)
+    })
 }
 
-/// The raw SPEC JVM98 methods (the [`specjvm98`] workloads minus the
-/// instances) for studies that re-transform the IR, such as the
-/// SSA-conversion experiment.
+/// The raw SPEC JVM98 methods for corpus-level callers (the batch
+/// CLI, the SSA-conversion study). Skips both [`build_instance`]
+/// views the full [`specjvm98`] workloads carry.
 pub fn specjvm98_functions(seed: u64) -> Vec<lra_ir::Function> {
-    specjvm98(seed).into_iter().map(|w| w.ir).collect()
+    generate_suite(&SPECJVM98_PROGRAMS, 6, |program, k| {
+        specjvm98_ir(seed, program, k)
+    })
+}
+
+/// The IR generator behind [`specjvm98`] and [`specjvm98_functions`]
+/// — one non-SSA method per `(program, k)` key.
+fn specjvm98_ir(seed: u64, program: &'static str, k: u64) -> lra_ir::Function {
+    let mut rng = mix(seed, program, k);
+    let cfg = JitConfig {
+        vars: rng.gen_range(16..=30),
+        blocks: rng.gen_range(7..=14),
+        instrs_per_block: rng.gen_range(4..=8),
+        cross_percent: 35,
+        back_percent: 25,
+        call_percent: 8,
+    };
+    random_jit_function(&mut rng, &cfg, format!("{program}::m{k}"))
 }
 
 /// SPEC JVM98 through a JikesRVM-style non-SSA JIT: non-chordal precise
@@ -227,34 +259,21 @@ pub fn specjvm98_functions(seed: u64) -> Vec<lra_ir::Function> {
 /// branch-and-bound baseline terminates quickly.
 pub fn specjvm98(seed: u64) -> Vec<Workload> {
     let target = Target::new(TargetKind::ArmCortexA8); // JITs target small register files
-    let mut out = Vec::new();
-    for program in SPECJVM98_PROGRAMS {
-        for k in 0..6u64 {
-            let mut rng = mix(seed, program, k);
-            let cfg = JitConfig {
-                vars: rng.gen_range(16..=30),
-                blocks: rng.gen_range(7..=14),
-                instrs_per_block: rng.gen_range(4..=8),
-                cross_percent: 35,
-                back_percent: 25,
-                call_percent: 8,
-            };
-            let f = random_jit_function(&mut rng, &cfg, format!("{program}::m{k}"));
-            let instance = build_instance(&f, &target, InstanceKind::PreciseGraph);
-            let interval_instance = build_instance(&f, &target, InstanceKind::LinearIntervals);
-            out.push(Workload {
-                suite: "specjvm98",
-                program,
-                function: f.name.clone(),
-                ir: f,
-                target,
-                kind: InstanceKind::PreciseGraph,
-                instance,
-                interval_instance: Some(interval_instance),
-            });
+    generate_suite(&SPECJVM98_PROGRAMS, 6, |program, k| {
+        let f = specjvm98_ir(seed, program, k);
+        let instance = build_instance(&f, &target, InstanceKind::PreciseGraph);
+        let interval_instance = build_instance(&f, &target, InstanceKind::LinearIntervals);
+        Workload {
+            suite: "specjvm98",
+            program,
+            function: f.name.clone(),
+            ir: f,
+            target,
+            kind: InstanceKind::PreciseGraph,
+            instance,
+            interval_instance: Some(interval_instance),
         }
-    }
-    out
+    })
 }
 
 #[cfg(test)]

@@ -52,6 +52,7 @@
 
 pub mod assign;
 pub mod baselines;
+pub mod batch;
 pub mod cluster;
 pub mod coalesce;
 pub mod driver;
@@ -62,6 +63,7 @@ pub mod problem;
 pub mod registry;
 pub mod verify;
 
+pub use batch::{BatchAllocator, BatchItem, BatchReport, BatchSummary};
 pub use cluster::LayeredHeuristic;
 pub use driver::{AllocatedFunction, AllocationPipeline, CoalesceMode, PipelineError};
 pub use layered::Layered;

@@ -19,7 +19,9 @@ pub struct Instance {
     wg: WeightedGraph,
     peo: Option<Vec<Vertex>>,
     intervals: Option<Vec<Interval>>,
-    cliques: std::cell::OnceCell<Option<Vec<Vec<Vertex>>>>,
+    // OnceLock (not cell::OnceCell) so instances stay Sync and can be
+    // shared across the `crate::batch` worker pool.
+    cliques: std::sync::OnceLock<Option<Vec<Vec<Vertex>>>>,
 }
 
 impl Instance {
@@ -30,7 +32,7 @@ impl Instance {
             wg,
             peo: order,
             intervals: None,
-            cliques: std::cell::OnceCell::new(),
+            cliques: std::sync::OnceLock::new(),
         }
     }
 
@@ -51,7 +53,7 @@ impl Instance {
             wg: WeightedGraph::new(g, weights),
             peo: Some(order),
             intervals: Some(intervals),
-            cliques: std::cell::OnceCell::new(),
+            cliques: std::sync::OnceLock::new(),
         }
     }
 

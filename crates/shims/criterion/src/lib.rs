@@ -8,6 +8,12 @@
 //! benchmark runs one warm-up pass plus a small number of timed passes
 //! (capped; override with the `CRITERION_SHIM_SAMPLES` environment
 //! variable) and prints the mean time per iteration.
+//!
+//! Results are lost when the process exits unless `CRITERION_SHIM_JSON`
+//! names a file: then every benchmark also appends one JSON line
+//! (`{"group": …, "bench": …, "mean_ns": …, "iters": …}`), so bench
+//! numbers can be persisted in-tree alongside `BENCH_batch.json` (see
+//! the repo's `BENCH_*.json` convention).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -109,10 +115,39 @@ impl BenchmarkGroup<'_> {
             "{}/{id}: {per_iter:?}/iter over {} iters{rate}",
             self.name, bencher.iters
         );
+        persist_json(&self.name, &id, per_iter, bencher.iters);
     }
 
     /// Ends the group (printing is incremental, so this is a no-op).
     pub fn finish(&mut self) {}
+}
+
+/// Appends one JSON line per benchmark to the file named by
+/// `CRITERION_SHIM_JSON`, if set. Failures are silent: persistence is
+/// best-effort and must never fail a bench run.
+fn persist_json(group: &str, id: &str, per_iter: Duration, iters: usize) {
+    let Ok(path) = std::env::var("CRITERION_SHIM_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let line = format!(
+        "{{\"group\": \"{}\", \"bench\": \"{}\", \"mean_ns\": {}, \"iters\": {}}}\n",
+        escape(group),
+        escape(id),
+        per_iter.as_nanos(),
+        iters
+    );
+    use std::io::Write as _;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = f.write_all(line.as_bytes());
+    }
 }
 
 /// Per-benchmark iteration driver.

@@ -1,6 +1,8 @@
-//! Sweeps the register count on one synthetic SPEC-like function and
-//! prints the spill cost of every chordal-figure allocator — a
-//! miniature of Figure 8, driven through the pipeline and the registry.
+//! Sweeps the register count over a small corpus of synthetic
+//! SPEC-like functions and prints the total spill cost of every
+//! chordal-figure allocator — a miniature of Figure 8, with each
+//! `(allocator, R)` cell fanned across the [`BatchAllocator`] worker
+//! pool instead of walking the corpus sequentially.
 //!
 //! Run with: `cargo run --release --example compare_allocators`
 
@@ -8,27 +10,34 @@ use lra::core::pipeline::InstanceKind;
 use lra::core::CHORDAL_FIGURE_SET;
 use lra::ir::genprog::{random_ssa_function, SsaConfig};
 use lra::targets::{Target, TargetKind};
-use lra::AllocationPipeline;
+use lra::{AllocationPipeline, BatchAllocator};
 use rand::SeedableRng;
 
 fn main() {
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(8);
-    let config = SsaConfig {
-        target_instrs: 220,
-        max_loop_depth: 3,
-        branch_percent: 22,
-        loop_percent: 12,
-        call_percent: 6,
-        copy_percent: 0,
-        params: 4,
-        liveness_window: 24,
-    };
-    let function = random_ssa_function(&mut rng, &config, "spec-like::hot");
+    // A corpus of eight spec-like hot functions, each from its own
+    // seeded RNG (per-function seeding keeps batch runs deterministic).
+    let functions: Vec<lra::ir::Function> = (0..8u64)
+        .map(|k| {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(8 + k);
+            let config = SsaConfig {
+                target_instrs: 220,
+                max_loop_depth: 3,
+                branch_percent: 22,
+                loop_percent: 12,
+                call_percent: 6,
+                copy_percent: 0,
+                params: 4,
+                liveness_window: 24,
+            };
+            random_ssa_function(&mut rng, &config, format!("spec-like::hot{k}"))
+        })
+        .collect();
     let target = Target::new(TargetKind::St231);
 
     println!(
-        "function with {} values (figure columns: {})",
-        function.value_count,
+        "{} functions, {} total values (figure columns: {})",
+        functions.len(),
+        functions.iter().map(|f| f.value_count).sum::<u32>(),
         CHORDAL_FIGURE_SET.join(", "),
     );
     println!();
@@ -41,14 +50,20 @@ fn main() {
     for r in [1u32, 2, 4, 8, 16, 32] {
         print!("{r:>10}");
         for name in CHORDAL_FIGURE_SET {
-            let report = AllocationPipeline::new(target)
+            let pipeline = AllocationPipeline::new(target)
                 .allocator(name)
                 .instance_kind(InstanceKind::LinearIntervals)
                 .registers(r)
-                .max_rounds(1)
-                .run(&function)
-                .expect("chordal-figure allocators handle SSA inputs");
-            print!(" {:>8}", report.first_round_spill_cost());
+                .max_rounds(1);
+            let report = BatchAllocator::new(pipeline).run(&functions);
+            assert_eq!(report.summary.failed, 0, "{name} failed on an SSA input");
+            let total: u64 = report
+                .items
+                .iter()
+                .filter_map(|i| i.report())
+                .map(|rep| rep.first_round_spill_cost())
+                .sum();
+            print!(" {total:>8}");
         }
         println!();
     }

@@ -1,34 +1,44 @@
-//! JIT-style allocation on a non-SSA function: the JVM figure set
-//! (`DLS`, `BLS`, `GC`, `LH`, `Optimal`) from the registry, each driven
-//! through the pipeline on the view it needs — the §6.2 setting of the
-//! paper.
+//! JIT-style allocation on a corpus of non-SSA methods: the JVM figure
+//! set (`DLS`, `BLS`, `GC`, `LH`, `Optimal`) from the registry, each
+//! fanned over the whole method corpus by [`BatchAllocator`] on the
+//! view it needs — the §6.2 setting of the paper, batched the way a
+//! JIT compilation queue would be.
 //!
 //! Run with: `cargo run --release --example jit_allocation`
 
 use lra::core::{AllocatorRegistry, JVM_FIGURE_SET};
 use lra::ir::genprog::{random_jit_function, JitConfig};
 use lra::targets::{Target, TargetKind};
-use lra::AllocationPipeline;
+use lra::{AllocationPipeline, BatchAllocator};
 use rand::SeedableRng;
 
 fn main() {
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
-    let config = JitConfig {
-        vars: 24,
-        blocks: 10,
-        instrs_per_block: 6,
-        cross_percent: 35,
-        back_percent: 25,
-        call_percent: 8,
-    };
-    let function = random_jit_function(&mut rng, &config, "jvm::method");
+    // Six methods, per-method seeded so batch order never matters.
+    let methods: Vec<lra::ir::Function> = (0..6u64)
+        .map(|k| {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1 + k);
+            let config = JitConfig {
+                vars: 24,
+                blocks: 10,
+                instrs_per_block: 6,
+                cross_percent: 35,
+                back_percent: 25,
+                call_percent: 8,
+            };
+            random_jit_function(&mut rng, &config, format!("jvm::method{k}"))
+        })
+        .collect();
     let target = Target::new(TargetKind::ArmCortexA8);
 
-    println!("method: {} temporaries (non-SSA)", function.value_count);
+    println!(
+        "corpus: {} non-SSA methods, {} temporaries total",
+        methods.len(),
+        methods.iter().map(|f| f.value_count).sum::<u32>()
+    );
     println!();
     println!(
-        "{:>10} {:>12} {:>12} {:>8}",
-        "registers", "allocator", "spill cost", "rounds"
+        "{:>10} {:>12} {:>12} {:>10} {:>14}",
+        "registers", "allocator", "spill cost", "converged", "non-converged"
     );
 
     for registers in [4u32, 6, 8] {
@@ -36,17 +46,21 @@ fn main() {
             // Linear scans need the interval over-approximation; the
             // graph allocators use the precise (non-chordal) graph.
             let spec = AllocatorRegistry::spec(name).unwrap();
-            let report = AllocationPipeline::new(target)
+            let pipeline = AllocationPipeline::new(target)
                 .allocator(name)
                 .instance_kind(spec.default_kind())
                 .registers(registers)
-                .max_rounds(1)
-                .run(&function)
-                .expect("JVM-figure allocators handle JIT methods");
+                .max_rounds(1);
+            let report = BatchAllocator::new(pipeline).run(&methods);
+            assert_eq!(
+                report.summary.failed, 0,
+                "JVM-figure allocators handle JIT methods"
+            );
             println!(
-                "{registers:>10} {name:>12} {:>12} {:>8}",
-                report.first_round_spill_cost(),
-                report.rounds
+                "{registers:>10} {name:>12} {:>12} {:>10} {:>14}",
+                report.summary.total_spill_cost,
+                report.summary.converged,
+                report.summary.non_converged
             );
         }
         println!();

@@ -10,8 +10,9 @@
 //! * [`targets`] — ST231 and ARM Cortex-A8 cost models,
 //! * [`core`] — the allocators (`NL`/`BL`/`FPL`/`BFPL`/`LH`), the
 //!   baselines (`GC`, `DLS`, `BLS`), the exact `Optimal` solvers, the
-//!   [`AllocatorRegistry`] that names them all, and the end-to-end
-//!   [`AllocationPipeline`],
+//!   [`AllocatorRegistry`] that names them all, the end-to-end
+//!   [`AllocationPipeline`], and the parallel [`BatchAllocator`]
+//!   driver that fans whole corpora across a worker pool,
 //! * [`mod@bench`] — benchmark suites and the figure runners.
 //!
 //! The pipeline types are re-exported at the top level: the normal way
@@ -63,6 +64,6 @@ pub use lra_ir as ir;
 pub use lra_targets as targets;
 
 pub use lra_core::{
-    AllocatedFunction, AllocationPipeline, AllocatorRegistry, AllocatorSpec, CoalesceMode,
-    PipelineError,
+    AllocatedFunction, AllocationPipeline, AllocatorRegistry, AllocatorSpec, BatchAllocator,
+    BatchItem, BatchReport, BatchSummary, CoalesceMode, PipelineError,
 };
