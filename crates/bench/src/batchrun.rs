@@ -2,11 +2,14 @@
 //! benchmark baseline (`BENCH_batch.json`).
 //!
 //! [`standard_experiments`] defines the corpora the CLI batches over:
-//! the SPEC JVM98 JIT methods (non-chordal, `LH`) and the random
-//! lao-kernels SSA suite (`BFPL`). `batch` renders each
+//! the random lao-kernels SSA suite (`BFPL`), the SPEC JVM98 JIT
+//! methods (non-chordal, `LH`), and the large-method JIT corpus under
+//! the budgeted `Portfolio` policy. `batch` renders each
 //! [`lra_core::BatchReport`] deterministically (timings go to stderr),
 //! so CI can diff two runs — and a `--threads 4` run against the
-//! sequential path — byte for byte.
+//! sequential path — byte for byte. The standard portfolio
+//! configuration is fuel-only (no wall-clock deadline), so its
+//! escalation decisions are part of that determinism contract.
 //!
 //! [`record`] reruns the same corpora at several worker counts,
 //! takes per-experiment **median** wall-clock times, and writes the
@@ -17,6 +20,7 @@ use crate::suites;
 use lra_core::batch::BatchAllocator;
 use lra_core::driver::AllocationPipeline;
 use lra_core::pipeline::InstanceKind;
+use lra_core::portfolio::PortfolioConfig;
 use lra_core::BatchReport;
 use lra_ir::Function;
 use lra_targets::{Target, TargetKind};
@@ -42,28 +46,83 @@ impl BatchExperiment {
     }
 }
 
+/// The deterministic portfolio configuration the standard corpora run
+/// under: `LH` first, exact escalation under **node fuel only** — no
+/// wall-clock deadline, so the escalation outcome (and therefore the
+/// rendered report) is byte-identical at any worker count. The fuel is
+/// sized so one escalation costs a few milliseconds at worst while
+/// still letting the small half of the `jit-large` size mix certify.
+pub fn standard_portfolio_config() -> PortfolioConfig {
+    PortfolioConfig::default().node_budget(50_000)
+}
+
 /// The corpora behind `lra-bench -- batch` and `-- record`: the
-/// random lao-kernels SSA suite under `BFPL` (interval view, R = 4)
-/// and the SPEC JVM98 JIT methods under `LH` (precise non-chordal
-/// graphs, R = 6).
+/// random lao-kernels SSA suite under `BFPL` (interval view, R = 4),
+/// the SPEC JVM98 JIT methods under `LH` (precise non-chordal graphs,
+/// R = 6), and the large-method [`suites::jit_large`] corpus under the
+/// budgeted `Portfolio` policy ([`standard_portfolio_config`], R = 6).
 pub fn standard_experiments(seed: u64) -> Vec<BatchExperiment> {
-    let lao = BatchExperiment {
-        name: "lao-kernels/BFPL/R4".to_string(),
-        pipeline: AllocationPipeline::new(Target::new(TargetKind::ArmCortexA8))
-            .allocator("BFPL")
-            .instance_kind(InstanceKind::LinearIntervals)
-            .registers(4),
-        functions: suites::lao_kernel_functions(seed),
+    standard_experiments_with_policy(seed, None)
+}
+
+/// [`standard_experiments`] with an optional allocation-policy
+/// override: `Some("portfolio")` (case-insensitive) moves every corpus
+/// onto the budgeted portfolio policy; any other registry name runs
+/// that allocator on every corpus (per-item errors, e.g. an interval
+/// allocator on the precise-graph corpora, stay per-item); `None`
+/// keeps each corpus's default shown above.
+pub fn standard_experiments_with_policy(seed: u64, policy: Option<&str>) -> Vec<BatchExperiment> {
+    let experiment = |suite: &'static str,
+                      default_allocator: &'static str,
+                      kind: InstanceKind,
+                      r: u32,
+                      max_rounds: u32,
+                      functions: Vec<Function>| {
+        let base = AllocationPipeline::new(Target::new(TargetKind::ArmCortexA8))
+            .instance_kind(kind)
+            .registers(r)
+            .max_rounds(max_rounds);
+        let chosen = policy.unwrap_or(default_allocator);
+        let (label, pipeline) = if chosen.eq_ignore_ascii_case("portfolio") {
+            ("Portfolio", base.portfolio(standard_portfolio_config()))
+        } else {
+            (chosen, base.allocator(chosen))
+        };
+        BatchExperiment {
+            name: format!("{suite}/{label}/R{r}"),
+            pipeline,
+            functions,
+        }
     };
-    let jvm = BatchExperiment {
-        name: "specjvm98/LH/R6".to_string(),
-        pipeline: AllocationPipeline::new(Target::new(TargetKind::ArmCortexA8))
-            .allocator("LH")
-            .instance_kind(InstanceKind::PreciseGraph)
-            .registers(6),
-        functions: suites::specjvm98_functions(seed),
-    };
-    vec![lao, jvm]
+    vec![
+        experiment(
+            "lao-kernels",
+            "BFPL",
+            InstanceKind::LinearIntervals,
+            4,
+            8,
+            suites::lao_kernel_functions(seed),
+        ),
+        experiment(
+            "specjvm98",
+            "LH",
+            InstanceKind::PreciseGraph,
+            6,
+            8,
+            suites::specjvm98_functions(seed),
+        ),
+        // The 200-temporary methods take the most work per round; a
+        // tighter round budget keeps the batch wall-clock bounded
+        // while still exercising the spill-then-reanalyse loop.
+        experiment(
+            "jit-large",
+            "Portfolio",
+            InstanceKind::PreciseGraph,
+            6,
+            4,
+            suites::jit_large_functions(seed),
+        ),
+    ]
 }
 
 /// One experiment's timing series in the recorded baseline.
@@ -211,13 +270,23 @@ mod tests {
     use super::*;
 
     #[test]
-    fn standard_experiments_have_both_corpora() {
+    fn standard_experiments_have_all_three_corpora() {
         let exps = standard_experiments(3);
-        assert_eq!(exps.len(), 2);
-        assert!(exps[0].name.starts_with("lao-kernels/"));
-        assert!(exps[1].name.starts_with("specjvm98/"));
-        assert!(!exps[0].functions.is_empty());
-        assert!(!exps[1].functions.is_empty());
+        assert_eq!(exps.len(), 3);
+        assert_eq!(exps[0].name, "lao-kernels/BFPL/R4");
+        assert_eq!(exps[1].name, "specjvm98/LH/R6");
+        assert_eq!(exps[2].name, "jit-large/Portfolio/R6");
+        for exp in &exps {
+            assert!(!exp.functions.is_empty());
+        }
+    }
+
+    #[test]
+    fn policy_override_renames_and_reconfigures_every_corpus() {
+        let exps = standard_experiments_with_policy(3, Some("portfolio"));
+        assert!(exps.iter().all(|e| e.name.contains("/Portfolio/")));
+        let exps = standard_experiments_with_policy(3, Some("GC"));
+        assert!(exps.iter().all(|e| e.name.contains("/GC/")));
     }
 
     #[test]
@@ -226,7 +295,7 @@ mod tests {
         // CI while still driving record()'s sample/median/reference
         // loop end to end on the real corpora.
         let recorded = record(3, &[1, 2], 1);
-        assert_eq!(recorded.len(), 2);
+        assert_eq!(recorded.len(), 3);
         for e in &recorded {
             assert_eq!(e.timings.len(), 2);
             assert_eq!(e.timings[0].threads, 1);

@@ -664,12 +664,158 @@ pub fn render_ssa_conversion_table(title: &str, rows: &[SsaConversionRow]) -> St
     s
 }
 
+/// One row of the portfolio study: a program's aggregate spill cost
+/// under the cheap tier alone versus under the full budgeted policy,
+/// plus the policy's escalation statistics.
+#[derive(Clone, Debug)]
+pub struct PortfolioRow {
+    /// Program (benchmark application) name.
+    pub program: &'static str,
+    /// Functions of this program in the suite.
+    pub functions: usize,
+    /// Total spill cost of the cheap tier's allocations.
+    pub cheap_cost: u64,
+    /// Total spill cost of the policy's final allocations.
+    pub portfolio_cost: u64,
+    /// Functions on which the policy escalated to the exact solver.
+    pub escalated: usize,
+    /// Escalations in which the exact solver finished inside the
+    /// budget (the result is a certified optimum).
+    pub certified: usize,
+    /// Escalations in which the exact result strictly beat the cheap
+    /// one.
+    pub exact_wins: usize,
+}
+
+/// Runs the [`lra_core::portfolio::Portfolio`] policy over `workloads`
+/// at `r` registers (on each workload's native instance view) and
+/// aggregates per program, in first-appearance order.
+///
+/// Fans across the [`batch`] worker pool; with no wall-clock budget in
+/// `cfg` the outcome is deterministic at any thread count.
+///
+/// # Panics
+///
+/// Panics if [`PortfolioConfig::cheap`](lra_core::portfolio::PortfolioConfig::cheap)
+/// names no registered allocator.
+pub fn portfolio_study(
+    workloads: &[Workload],
+    r: u32,
+    cfg: &lra_core::portfolio::PortfolioConfig,
+) -> Vec<PortfolioRow> {
+    use lra_core::portfolio::{Portfolio, PortfolioSource};
+    // Validate the configuration once, loudly, before fanning out.
+    Portfolio::new(cfg.clone()).expect("portfolio cheap tier is a registered allocator");
+    let outcomes = batch::parallel_map(workloads, batch::default_threads(), |_, w| {
+        // Allocator boxes are not Sync; each decision builds its own
+        // (construction is a few Box allocations, dwarfed by the solve).
+        let policy = Portfolio::new(cfg.clone()).expect("validated above");
+        policy.decide(&w.instance, r)
+    });
+    let mut rows: Vec<PortfolioRow> = Vec::new();
+    for (w, out) in workloads.iter().zip(&outcomes) {
+        let row = match rows.iter_mut().find(|row| row.program == w.program) {
+            Some(row) => row,
+            None => {
+                rows.push(PortfolioRow {
+                    program: w.program,
+                    functions: 0,
+                    cheap_cost: 0,
+                    portfolio_cost: 0,
+                    escalated: 0,
+                    certified: 0,
+                    exact_wins: 0,
+                });
+                rows.last_mut().expect("just pushed")
+            }
+        };
+        row.functions += 1;
+        row.cheap_cost += out.cheap_cost;
+        row.portfolio_cost += out.allocation.spill_cost;
+        row.escalated += usize::from(out.escalated);
+        row.certified += usize::from(out.certified);
+        row.exact_wins += usize::from(out.source == PortfolioSource::Exact);
+    }
+    rows
+}
+
+/// Renders the portfolio study with a totals line.
+pub fn render_portfolio_table(title: &str, rows: &[PortfolioRow]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "# {title}");
+    if rows.is_empty() {
+        s.push_str("(empty suite)\n");
+        return s;
+    }
+    let _ = writeln!(
+        s,
+        "{:>12} {:>5} {:>11} {:>11} {:>7} {:>9} {:>9} {:>6}",
+        "program", "fns", "cheap", "portfolio", "saved%", "escalated", "certified", "wins"
+    );
+    let mut total = PortfolioRow {
+        program: "TOTAL",
+        functions: 0,
+        cheap_cost: 0,
+        portfolio_cost: 0,
+        escalated: 0,
+        certified: 0,
+        exact_wins: 0,
+    };
+    let saved = |cheap: u64, portfolio: u64| {
+        if cheap > 0 {
+            100.0 * (cheap - portfolio) as f64 / cheap as f64
+        } else {
+            0.0
+        }
+    };
+    for row in rows {
+        let _ = writeln!(
+            s,
+            "{:>12} {:>5} {:>11} {:>11} {:>6.2}% {:>9} {:>9} {:>6}",
+            row.program,
+            row.functions,
+            row.cheap_cost,
+            row.portfolio_cost,
+            saved(row.cheap_cost, row.portfolio_cost),
+            row.escalated,
+            row.certified,
+            row.exact_wins
+        );
+        total.functions += row.functions;
+        total.cheap_cost += row.cheap_cost;
+        total.portfolio_cost += row.portfolio_cost;
+        total.escalated += row.escalated;
+        total.certified += row.certified;
+        total.exact_wins += row.exact_wins;
+    }
+    let _ = writeln!(
+        s,
+        "{:>12} {:>5} {:>11} {:>11} {:>6.2}% {:>9} {:>9} {:>6}",
+        total.program,
+        total.functions,
+        total.cheap_cost,
+        total.portfolio_cost,
+        saved(total.cheap_cost, total.portfolio_cost),
+        total.escalated,
+        total.certified,
+        total.exact_wins
+    );
+    s
+}
+
 /// Suite shape statistics (sizes and register pressure), for the
 /// `stats` CLI command and the calibration notes in EXPERIMENTS.md.
+/// An empty workload set renders an explicit `(empty suite)` report
+/// instead of aborting.
 pub fn render_suite_stats(title: &str, workloads: &[Workload]) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
     let _ = writeln!(s, "# {title}");
+    if workloads.is_empty() {
+        s.push_str("(empty suite)\n");
+        return s;
+    }
     let n = workloads.len();
     let verts: Vec<f64> = workloads
         .iter()
@@ -834,6 +980,35 @@ mod tests {
         }
         let per = jvm_per_benchmark_figure(&ws, 6);
         assert!(!per.is_empty());
+    }
+
+    #[test]
+    fn portfolio_study_smoke_on_large_jit_methods() {
+        let ws: Vec<Workload> = suites::jit_large(3).into_iter().take(4).collect();
+        let cfg = lra_core::portfolio::PortfolioConfig::default().node_budget(20_000);
+        let rows = portfolio_study(&ws, 6, &cfg);
+        assert!(!rows.is_empty());
+        for row in &rows {
+            assert!(
+                row.portfolio_cost <= row.cheap_cost,
+                "{}: the policy may never lose to its own cheap tier",
+                row.program
+            );
+            assert!(row.exact_wins <= row.certified);
+            assert!(row.certified <= row.escalated);
+            assert!(row.escalated <= row.functions);
+        }
+        let t = render_portfolio_table("portfolio", &rows);
+        assert!(t.contains("TOTAL"));
+        assert!(t.contains("escalated"));
+    }
+
+    #[test]
+    fn empty_suite_stats_render_explicitly_instead_of_panicking() {
+        let t = render_suite_stats("empty", &[]);
+        assert!(t.contains("(empty suite)"));
+        let t = render_portfolio_table("empty", &[]);
+        assert!(t.contains("(empty suite)"));
     }
 
     #[test]

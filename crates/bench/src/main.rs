@@ -6,6 +6,8 @@
 //! cargo run --release -p lra-bench -- fig8             # one figure
 //! cargo run --release -p lra-bench -- fig14 --seed 7
 //! cargo run --release -p lra-bench -- batch --threads 4
+//! cargo run --release -p lra-bench -- batch --policy portfolio
+//! cargo run --release -p lra-bench -- portfolio --budget-nodes 100000
 //! cargo run --release -p lra-bench -- record           # BENCH_batch.json
 //! ```
 //!
@@ -25,15 +27,17 @@ use std::io::Write as _;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lra-bench <fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablation|inclusion|bls-sweep|split|ssa|stats|pipeline|batch|record|all> [--seed N] [--threads N] [--out PATH]"
+        "usage: lra-bench <fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablation|inclusion|bls-sweep|split|ssa|stats|pipeline|batch|portfolio|record|all> [--seed N] [--threads N] [--out PATH] [--policy NAME] [--budget-nodes N] [--budget-ms N]"
     );
     std::process::exit(2)
 }
 
-/// `batch`: fan the standard corpora (lao-kernels + SPEC JVM98) across
-/// the worker pool and print the deterministic per-corpus reports.
-fn run_batch(seed: u64, threads: usize) {
-    for exp in lra_bench::batchrun::standard_experiments(seed) {
+/// `batch`: fan the standard corpora (lao-kernels + SPEC JVM98 +
+/// jit-large) across the worker pool and print the deterministic
+/// per-corpus reports. `--policy NAME` overrides every corpus's
+/// allocator (`--policy portfolio` selects the budgeted portfolio).
+fn run_batch(seed: u64, threads: usize, policy: Option<&str>) {
+    for exp in lra_bench::batchrun::standard_experiments_with_policy(seed, policy) {
         let report = exp.run(threads);
         println!(
             "# Batch allocation: {} ({} functions)",
@@ -49,6 +53,44 @@ fn run_batch(seed: u64, threads: usize) {
             report.elapsed.as_secs_f64() * 1e3
         );
     }
+}
+
+/// `portfolio`: run the budgeted portfolio policy over the large
+/// non-SSA JIT corpus and print the per-program cheap-vs-portfolio
+/// comparison. The node budget is the deterministic fuel cap; the
+/// optional `--budget-ms` wall-clock deadline is a latency guard whose
+/// escalation outcomes are machine-dependent (noted on stderr).
+fn run_portfolio(seed: u64, budget_nodes: Option<u64>, budget_ms: Option<u64>) {
+    use lra_core::portfolio::PortfolioConfig;
+    let mut cfg =
+        PortfolioConfig::default().time_budget(budget_ms.map(std::time::Duration::from_millis));
+    if let Some(nodes) = budget_nodes {
+        cfg = cfg.node_budget(nodes);
+    }
+    let registers = 6;
+    let ws = lra_bench::suites::jit_large(seed);
+    let rows = lra_bench::experiments::portfolio_study(&ws, registers, &cfg);
+    let budget_label = match cfg.time_budget {
+        Some(d) => format!(
+            "{} nodes + {} ms per function",
+            cfg.node_budget,
+            d.as_millis()
+        ),
+        None => format!("{} nodes per function", cfg.node_budget),
+    };
+    if cfg.time_budget.is_some() {
+        eprintln!("(wall-clock budget set: escalation outcomes depend on machine speed)");
+    }
+    print!(
+        "{}",
+        lra_bench::experiments::render_portfolio_table(
+            &format!(
+                "Portfolio policy on jit-large (R = {registers}, cheap = {}, budget = {budget_label})",
+                cfg.cheap
+            ),
+            &rows
+        )
+    );
 }
 
 /// `record`: re-run the standard corpora at several worker counts and
@@ -151,6 +193,9 @@ fn main() {
     let mut seed = 2013u64; // CGO 2013
     let mut threads = 0usize; // 0 = auto (available_parallelism)
     let mut out = "BENCH_batch.json".to_string();
+    let mut policy: Option<String> = None;
+    let mut budget_nodes: Option<u64> = None;
+    let mut budget_ms: Option<u64> = None;
     let mut which = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -170,6 +215,23 @@ fn main() {
             "--out" => {
                 out = it.next().cloned().unwrap_or_else(|| usage());
             }
+            "--policy" => {
+                policy = Some(it.next().cloned().unwrap_or_else(|| usage()));
+            }
+            "--budget-nodes" => {
+                budget_nodes = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--budget-ms" => {
+                budget_ms = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             "all" => which.extend([
                 "fig8",
                 "fig9",
@@ -187,6 +249,7 @@ fn main() {
                 "stats",
                 "pipeline",
                 "batch",
+                "portfolio",
             ]),
             "fig8" => which.push("fig8"),
             "fig9" => which.push("fig9"),
@@ -204,6 +267,7 @@ fn main() {
             "stats" => which.push("stats"),
             "pipeline" => which.push("pipeline"),
             "batch" => which.push("batch"),
+            "portfolio" => which.push("portfolio"),
             "record" => which.push("record"),
             _ => usage(),
         }
@@ -374,7 +438,8 @@ fn main() {
                 );
             }
             "pipeline" => run_pipeline_demo(seed),
-            "batch" => run_batch(seed, threads),
+            "batch" => run_batch(seed, threads, policy.as_deref()),
+            "portfolio" => run_portfolio(seed, budget_nodes, budget_ms),
             "record" => run_record(seed, &out),
             "stats" => {
                 for (title, suite) in [
@@ -386,6 +451,14 @@ fn main() {
                     print!("{}", experiments::render_suite_stats(title, get(suite)));
                     println!();
                 }
+                print!(
+                    "{}",
+                    experiments::render_suite_stats(
+                        "jit-large workload shape",
+                        &suites::jit_large(seed)
+                    )
+                );
+                println!();
             }
             _ => unreachable!(),
         }

@@ -12,7 +12,13 @@
 //! * [`specjvm98`] — 9 Java benchmarks compiled non-SSA (JikesRVM),
 //!   giving non-chordal interference graphs; each workload carries
 //!   *both* the precise graph instance (for `GC`/`LH`/`Optimal`) and
-//!   the linearised interval instance (for the linear scans).
+//!   the linearised interval instance (for the linear scans),
+//! * [`jit_large`] — a server-class JIT corpus *beyond* the paper's
+//!   evaluation: non-SSA methods up to ~200 temporaries with dense
+//!   branching and irreducible-ish control flow (back edges to
+//!   non-dominators). At this size the exact branch-and-bound baseline
+//!   is no longer reliably tractable, which is exactly the workload
+//!   the budgeted `Portfolio` policy exists for.
 //!
 //! The SSA suites use linearised-interval instances, so the interference
 //! graphs are interval graphs (a subclass of the chordal graphs SSA
@@ -92,6 +98,21 @@ pub const SPECJVM98_PROGRAMS: [&str; 9] = [
     "mpegaudio",
     "mtrt",
     "jack",
+];
+
+/// The 9 simulated server-class applications of the [`jit_large`]
+/// corpus (SPECjvm2008-flavoured names, since the paper's JVM98 set is
+/// taken by the small-method suite).
+pub const JIT_LARGE_PROGRAMS: [&str; 9] = [
+    "compiler",
+    "crypto",
+    "derby",
+    "scimark",
+    "serial",
+    "sunflow",
+    "xml",
+    "montecarlo",
+    "batik",
 ];
 
 fn mix(seed: u64, salt: &str, k: u64) -> ChaCha8Rng {
@@ -276,6 +297,110 @@ pub fn specjvm98(seed: u64) -> Vec<Workload> {
     })
 }
 
+/// The IR generator behind [`jit_large`] and [`jit_large_functions`]
+/// — one non-SSA method per `(program, k)` key. Method sizes follow a
+/// JIT-realistic skew — mostly small methods, a fat tail reaching ~200
+/// temporaries (far past the ~35-temporary cap the JVM98 suite keeps
+/// for exact-baseline tractability). The mix is what exercises every
+/// portfolio outcome: small methods certify inside the budget, the
+/// tail exhausts it. Block counts scale with the variable count so the
+/// temporaries actually get defined, and the forward- and back-edge
+/// densities are well above the JVM98 suite's, which yields dense,
+/// frequently irreducible flow graphs.
+fn jit_large_ir(seed: u64, program: &'static str, k: u64) -> lra_ir::Function {
+    // `100 + k` keeps this sub-seed stream disjoint from the JVM98
+    // generator for programs both suites might one day share.
+    let mut rng = mix(seed, program, 100 + k);
+    let size_class = rng.gen_range(0..100);
+    let vars = if size_class < 50 {
+        rng.gen_range(24..=60) // typical bytecode method
+    } else if size_class < 80 {
+        rng.gen_range(60..=120) // hot inlined region
+    } else {
+        rng.gen_range(120..=200) // interpreter-loop-sized monster
+    };
+    let cfg = JitConfig {
+        vars,
+        blocks: (vars / 6).max(10),
+        instrs_per_block: rng.gen_range(6..=9),
+        cross_percent: 55,
+        back_percent: 40,
+        call_percent: 6,
+    };
+    random_jit_function(&mut rng, &cfg, format!("{program}::m{k}"))
+}
+
+/// The large non-SSA JIT corpus: server-class methods up to ~200
+/// temporaries with non-chordal precise graphs plus interval views,
+/// on the ARM JIT target. The workload class the `Portfolio` policy
+/// (cheap allocator first, exact solver only under a work budget) is
+/// designed for — unlike [`specjvm98`], an *unbudgeted* exact sweep
+/// over this suite is not guaranteed to terminate in reasonable time.
+pub fn jit_large(seed: u64) -> Vec<Workload> {
+    let target = Target::new(TargetKind::ArmCortexA8);
+    generate_suite(&JIT_LARGE_PROGRAMS, 3, |program, k| {
+        let f = jit_large_ir(seed, program, k);
+        let instance = build_instance(&f, &target, InstanceKind::PreciseGraph);
+        let interval_instance = build_instance(&f, &target, InstanceKind::LinearIntervals);
+        Workload {
+            suite: "jit-large",
+            program,
+            function: f.name.clone(),
+            ir: f,
+            target,
+            kind: InstanceKind::PreciseGraph,
+            instance,
+            interval_instance: Some(interval_instance),
+        }
+    })
+}
+
+/// The raw [`jit_large`] methods for corpus-level callers (the batch
+/// CLI). Skips [`build_instance`] — the pipeline rebuilds instances
+/// per round anyway.
+pub fn jit_large_functions(seed: u64) -> Vec<lra_ir::Function> {
+    generate_suite(&JIT_LARGE_PROGRAMS, 3, |program, k| {
+        jit_large_ir(seed, program, k)
+    })
+}
+
+/// Shape summary of a workload set, for calibration checks and the
+/// `stats` CLI command.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SuiteShape {
+    /// Workloads in the set.
+    pub functions: usize,
+    /// Workloads whose precise interference graph is chordal.
+    pub chordal: usize,
+    /// Largest variable count over the set.
+    pub max_vars: usize,
+    /// Largest MaxLive over the set.
+    pub max_pressure: usize,
+    /// Mean MaxLive over the set.
+    pub mean_pressure: f64,
+}
+
+/// Computes the [`SuiteShape`] of `ws`, or `None` for an empty
+/// workload set — the explicit empty-suite result callers must handle
+/// instead of the `max().unwrap()` panic this replaces.
+pub fn suite_shape(ws: &[Workload]) -> Option<SuiteShape> {
+    if ws.is_empty() {
+        return None;
+    }
+    let pressures: Vec<usize> = ws.iter().map(|w| w.instance.max_live()).collect();
+    Some(SuiteShape {
+        functions: ws.len(),
+        chordal: ws.iter().filter(|w| w.instance.is_chordal()).count(),
+        max_vars: ws
+            .iter()
+            .map(|w| w.instance.vertex_count())
+            .max()
+            .unwrap_or(0),
+        max_pressure: pressures.iter().copied().max().unwrap_or(0),
+        mean_pressure: pressures.iter().sum::<usize>() as f64 / pressures.len() as f64,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,11 +450,57 @@ mod tests {
         // The R-sweep only makes sense if functions actually overflow
         // mid-range register counts.
         let ws = spec2000int(1);
-        let max_pressure = ws.iter().map(|w| w.instance.max_live()).max().unwrap();
-        assert!(max_pressure > 16, "peak MaxLive {max_pressure} too low");
-        let mean: f64 =
-            ws.iter().map(|w| w.instance.max_live() as f64).sum::<f64>() / ws.len() as f64;
-        assert!(mean > 6.0, "mean MaxLive {mean:.1} too low");
+        let shape = suite_shape(&ws).expect("generated suite is non-empty");
+        assert!(
+            shape.max_pressure > 16,
+            "peak MaxLive {} too low",
+            shape.max_pressure
+        );
+        assert!(
+            shape.mean_pressure > 6.0,
+            "mean MaxLive {:.1} too low",
+            shape.mean_pressure
+        );
+    }
+
+    #[test]
+    fn suite_shape_of_an_empty_set_is_none_not_a_panic() {
+        assert_eq!(suite_shape(&[]), None);
+    }
+
+    #[test]
+    fn jit_large_methods_are_big_dense_and_mostly_non_chordal() {
+        let ws = jit_large(1);
+        assert_eq!(ws.len(), 9 * 3);
+        let shape = suite_shape(&ws).expect("non-empty");
+        assert!(
+            shape.max_vars >= 150,
+            "corpus should reach ~200 temporaries (max {})",
+            shape.max_vars
+        );
+        assert!(
+            shape.max_vars > 35,
+            "must exceed the JVM98 tractability cap"
+        );
+        assert!(
+            shape.chordal * 4 < shape.functions,
+            "large JIT graphs should be overwhelmingly non-chordal ({}/{})",
+            shape.chordal,
+            shape.functions
+        );
+        for w in &ws {
+            assert!(w.interval_instance.is_some());
+            assert!(w.linear_scan_instance().intervals().is_some());
+        }
+    }
+
+    #[test]
+    fn jit_large_is_deterministic_and_seed_sensitive() {
+        let a = jit_large_functions(7);
+        let b = jit_large_functions(7);
+        assert_eq!(a, b);
+        let c = jit_large_functions(8);
+        assert!(a != c, "different seeds should produce different corpora");
     }
 
     #[test]

@@ -182,20 +182,31 @@ impl BatchAllocator {
 
     /// Runs the full pipeline on every function and returns the
     /// ordered report. Per-function failures (unknown allocator, view
-    /// mismatch, non-chordal input) surface as per-item errors — one
-    /// bad function never aborts the batch.
+    /// mismatch, non-chordal input, and even a panicking pipeline run)
+    /// surface as per-item errors — one bad function never aborts the
+    /// batch.
     pub fn run(&self, functions: &[Function]) -> BatchReport {
         self.run_refs(&functions.iter().collect::<Vec<_>>())
     }
 
     /// [`BatchAllocator::run`] over borrowed functions, for callers
     /// (suite sweeps) whose corpus lives inside a larger structure.
+    ///
+    /// A panic inside one function's pipeline run is caught and
+    /// recorded as that item's [`PipelineError::Panic`] instead of
+    /// unwinding through the worker — an unwinding worker would poison
+    /// the result mutex and abort the whole batch, violating the
+    /// per-item failure contract. (The panic message still goes to
+    /// stderr via the process panic hook; the report stays
+    /// deterministic because the hook writes to a different stream.)
     pub fn run_refs(&self, functions: &[&Function]) -> BatchReport {
         let threads = self.effective_threads(functions.len());
         let start = Instant::now();
         let items = parallel_map(functions, threads, |_, f| {
             let t0 = Instant::now();
-            let outcome = self.pipeline.run(f);
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.pipeline.run(f)))
+                    .unwrap_or_else(|payload| Err(PipelineError::Panic(panic_message(&payload))));
             BatchItem {
                 function: f.name.clone(),
                 outcome,
@@ -210,6 +221,19 @@ impl BatchAllocator {
             elapsed,
             summary,
         }
+    }
+}
+
+/// Renders a caught panic payload as the human-readable message
+/// `panic!` was invoked with (the payload is a `&str` or `String` for
+/// every formatted panic; anything else is reported opaquely).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -485,6 +509,34 @@ mod tests {
         assert_eq!(report.summary.non_converged, 1);
         assert_eq!(report.summary.converged, 2);
         assert!(report.render().contains("non-converged 1"));
+    }
+
+    #[test]
+    fn panicking_pipeline_run_is_a_per_item_error_not_an_abort() {
+        use lra_ir::cfg::{Block, BlockId};
+        // A structurally broken function (dangling successor) makes
+        // the analysis phase panic; the batch must capture that as
+        // this item's error while the rest of the corpus completes.
+        let mut blocks = vec![Block::default()];
+        blocks[0].succs = vec![BlockId(7)];
+        let broken = Function {
+            name: "broken".into(),
+            blocks,
+            entry: BlockId(0),
+            value_count: 1,
+            params: vec![],
+        };
+        let mut fs = corpus(3);
+        fs.insert(1, broken);
+        let report = BatchAllocator::new(pipeline()).threads(2).run(&fs);
+        assert_eq!(report.summary.functions, 4);
+        assert_eq!(report.summary.failed, 1);
+        assert_eq!(report.summary.succeeded, 3);
+        assert!(matches!(
+            report.items[1].outcome,
+            Err(PipelineError::Panic(_))
+        ));
+        assert!(report.render().contains("error: pipeline panicked"));
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! | `DLS`  | [`baselines::LinearScan`] | intervals | baseline |
 //! | `BLS`  | [`baselines::BeladyLinearScan`] | intervals | baseline |
 //! | `Optimal` | [`optimal::Optimal`] | any | exact reference |
+//! | `Portfolio` | [`portfolio::Portfolio`] | any | cheap first, exact under budget |
 //!
 //! # Example
 //!
@@ -59,6 +60,7 @@ pub mod driver;
 pub mod layered;
 pub mod optimal;
 pub mod pipeline;
+pub mod portfolio;
 pub mod problem;
 pub mod registry;
 pub mod verify;
@@ -67,6 +69,7 @@ pub use batch::{BatchAllocator, BatchItem, BatchReport, BatchSummary};
 pub use cluster::LayeredHeuristic;
 pub use driver::{AllocatedFunction, AllocationPipeline, CoalesceMode, PipelineError};
 pub use layered::Layered;
-pub use optimal::Optimal;
+pub use optimal::{Optimal, SolveBudget};
+pub use portfolio::{Portfolio, PortfolioConfig, PortfolioOutcome, PortfolioSource};
 pub use problem::{Allocation, Allocator, Instance};
 pub use registry::{AllocatorRegistry, AllocatorSpec, CHORDAL_FIGURE_SET, JVM_FIGURE_SET};

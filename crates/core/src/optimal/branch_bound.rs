@@ -13,10 +13,16 @@
 //! budget; the solver returns `None` if the budget is exhausted, so a
 //! caller can distinguish *certified* optima from timeouts.
 
+use super::SolveBudget;
 use crate::baselines::ChaitinBriggs;
 use crate::cluster::LayeredHeuristic;
 use crate::problem::{Allocation, Allocator, Instance};
 use lra_graph::{BitSet, Cost};
+use std::time::Instant;
+
+/// How many search nodes pass between cooperative deadline checks.
+/// A power of two so the check compiles to a mask test.
+const DEADLINE_STRIDE: u64 = 4096;
 
 struct Search<'a> {
     instance: &'a Instance,
@@ -27,6 +33,7 @@ struct Search<'a> {
     best_set: BitSet,
     nodes: u64,
     node_limit: u64,
+    deadline: Option<Instant>,
 }
 
 impl Search<'_> {
@@ -34,6 +41,13 @@ impl Search<'_> {
         self.nodes += 1;
         if self.nodes > self.node_limit {
             return false;
+        }
+        if self.nodes.is_multiple_of(DEADLINE_STRIDE) {
+            if let Some(d) = self.deadline {
+                if Instant::now() >= d {
+                    return false;
+                }
+            }
         }
         if spill >= self.best_spill {
             return true; // prune: cannot improve
@@ -78,6 +92,15 @@ impl Search<'_> {
 /// Solves `instance` exactly with `r` registers, or returns `None` if
 /// the search exceeds `node_limit` nodes (no certified optimum).
 pub fn solve(instance: &Instance, r: u32, node_limit: u64) -> Option<Allocation> {
+    solve_budgeted(instance, r, &SolveBudget::nodes(node_limit))
+}
+
+/// [`solve`] under a full [`SolveBudget`]: aborts (returning `None`)
+/// on node-fuel exhaustion *or* when the cooperative deadline passes.
+pub fn solve_budgeted(instance: &Instance, r: u32, budget: &SolveBudget) -> Option<Allocation> {
+    if budget.expired() {
+        return None;
+    }
     let n = instance.vertex_count();
     if r == 0 {
         return Some(instance.allocation_from_set(BitSet::new(n)));
@@ -109,7 +132,8 @@ pub fn solve(instance: &Instance, r: u32, node_limit: u64) -> Option<Allocation>
         best_spill: incumbent_spill + 1,
         best_set: incumbent_set.clone(),
         nodes: 0,
-        node_limit,
+        node_limit: budget.node_limit,
+        deadline: budget.deadline,
     };
     let completed = search.run(0, 0, 0, &mut BitSet::new(n));
     if !completed {
@@ -181,6 +205,16 @@ mod tests {
         let inst = instance(g, vec![2, 3]);
         let a = solve(&inst, 0, 1000).unwrap();
         assert_eq!(a.spill_cost, 5);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_before_searching() {
+        let c5 = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let inst = instance(c5, vec![5, 4, 3, 2, 1]);
+        let budget = SolveBudget::nodes(1_000_000).with_time(Some(std::time::Duration::ZERO));
+        assert!(solve_budgeted(&inst, 2, &budget).is_none());
+        // The same search without the dead deadline completes.
+        assert!(solve_budgeted(&inst, 2, &SolveBudget::nodes(1_000_000)).is_some());
     }
 
     #[test]

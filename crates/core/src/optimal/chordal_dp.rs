@@ -14,12 +14,16 @@
 //! beyond [`MAX_BAG`] make the table too large; [`solve`] then returns
 //! `None` and the caller falls back to branch-and-bound.
 
+use super::SolveBudget;
 use crate::problem::{Allocation, Instance};
 use lra_graph::{cliques::CliqueTree, BitSet, Cost};
 use std::collections::HashMap;
 
 /// Largest bag size the DP will attempt (2^24 masks ≈ 16M per bag).
 pub const MAX_BAG: usize = 22;
+
+/// How many DP masks pass between cooperative deadline checks.
+const DEADLINE_STRIDE: u64 = 65536;
 
 /// Solves a chordal instance exactly, or returns `None` when a maximal
 /// clique exceeds [`MAX_BAG`] vertices.
@@ -28,6 +32,42 @@ pub const MAX_BAG: usize = 22;
 ///
 /// Panics if the instance is not chordal.
 pub fn solve(instance: &Instance, r: u32) -> Option<Allocation> {
+    solve_budgeted(instance, r, &SolveBudget::unlimited())
+}
+
+/// [`solve`] under a [`SolveBudget`]: every enumerated bag mask costs
+/// one unit of node fuel, and the wall-clock deadline is checked every
+/// few tens of thousands of masks. Returns `None` on an oversized bag *or*
+/// an exhausted budget — either way no certified optimum exists within
+/// the caps and the caller decides what to fall back to.
+///
+/// # Panics
+///
+/// Panics if the instance is not chordal.
+pub fn solve_budgeted(instance: &Instance, r: u32, budget: &SolveBudget) -> Option<Allocation> {
+    let mut spent = 0;
+    solve_metered(instance, r, budget, &mut spent)
+}
+
+/// [`solve_budgeted`] that also reports the node fuel consumed through
+/// `spent` (valid on success *and* on abort), so a caller chaining a
+/// fallback solver can charge both against one budget instead of
+/// paying the cap twice — [`super::Optimal::try_allocate`] hands
+/// branch-and-bound only the remainder.
+///
+/// # Panics
+///
+/// Panics if the instance is not chordal.
+pub fn solve_metered(
+    instance: &Instance,
+    r: u32,
+    budget: &SolveBudget,
+    spent: &mut u64,
+) -> Option<Allocation> {
+    *spent = 0;
+    if budget.expired() {
+        return None;
+    }
     let order = instance
         .peo()
         .expect("chordal DP requires a chordal instance");
@@ -38,6 +78,7 @@ pub fn solve(instance: &Instance, r: u32) -> Option<Allocation> {
     if tree.max_bag_size() > MAX_BAG {
         return None;
     }
+    let fuel_spent = spent;
 
     // Shortcut: R ≥ MaxLive means everything fits.
     if r as usize >= tree.max_bag_size() {
@@ -82,6 +123,12 @@ pub fn solve(instance: &Instance, r: u32) -> Option<Allocation> {
 
         let mut best: HashMap<u32, (Cost, u32)> = HashMap::new();
         for mask in 0u32..(1 << kb) {
+            *fuel_spent += 1;
+            if *fuel_spent > budget.node_limit
+                || (fuel_spent.is_multiple_of(DEADLINE_STRIDE) && budget.expired())
+            {
+                return None;
+            }
             if (mask.count_ones()) > r {
                 continue;
             }
@@ -250,6 +297,24 @@ mod tests {
             }
         }
         best
+    }
+
+    #[test]
+    fn exhausted_fuel_returns_none() {
+        let mut b = GraphBuilder::new(6);
+        b.add_clique(&[0, 1, 2, 3, 4, 5]);
+        let inst = instance(b.build(), vec![1; 6]);
+        assert!(solve_budgeted(&inst, 2, &SolveBudget::nodes(3)).is_none());
+        assert!(solve_budgeted(&inst, 2, &SolveBudget::unlimited()).is_some());
+    }
+
+    #[test]
+    fn expired_deadline_returns_none() {
+        let mut b = GraphBuilder::new(5);
+        b.add_clique(&[0, 1, 2, 3, 4]);
+        let inst = instance(b.build(), vec![2; 5]);
+        let budget = SolveBudget::unlimited().with_time(Some(std::time::Duration::ZERO));
+        assert!(solve_budgeted(&inst, 2, &budget).is_none());
     }
 
     #[test]

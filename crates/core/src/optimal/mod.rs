@@ -18,6 +18,67 @@ pub mod chordal_dp;
 pub mod flow;
 
 use crate::problem::{Allocation, Allocator, Instance};
+use std::time::{Duration, Instant};
+
+/// A cooperative work budget for the exact solvers.
+///
+/// Two independent caps, both optional in effect:
+///
+/// * **node fuel** — a deterministic cap on the search/DP work
+///   (branch-and-bound nodes, DP masks). Exceeding it aborts the
+///   solve. Because fuel is counted, not timed, two runs with the same
+///   fuel always abort (or complete) at exactly the same point — this
+///   is the budget to use when results must be reproducible, e.g.
+///   across the [`crate::batch`] worker pool at different thread
+///   counts.
+/// * **deadline** — a wall-clock cutoff checked cooperatively every
+///   few thousand work units. A deadline abort depends on machine
+///   speed and load, so results guarded only by a deadline are *not*
+///   deterministic; use it as a hard latency guard on top of the fuel.
+///
+/// The budgeted entry points ([`Optimal::try_allocate`],
+/// [`branch_bound::solve_budgeted`], [`chordal_dp::solve_budgeted`])
+/// return `None` when either cap trips — a *bounded* outcome the
+/// caller can distinguish from a certified optimum.
+#[derive(Clone, Copy, Debug)]
+pub struct SolveBudget {
+    /// Maximum search nodes / DP masks before the solver gives up.
+    pub node_limit: u64,
+    /// Wall-clock instant after which the solver gives up.
+    pub deadline: Option<Instant>,
+}
+
+impl SolveBudget {
+    /// No caps: the solver runs to completion (or to the structural
+    /// limits like [`chordal_dp::MAX_BAG`]).
+    pub fn unlimited() -> Self {
+        SolveBudget {
+            node_limit: u64::MAX,
+            deadline: None,
+        }
+    }
+
+    /// A deterministic fuel-only budget of `n` work units.
+    pub fn nodes(n: u64) -> Self {
+        SolveBudget {
+            node_limit: n,
+            deadline: None,
+        }
+    }
+
+    /// Adds a wall-clock deadline of `d` from now (`None` leaves the
+    /// budget fuel-only). A zero `d` produces an already-expired
+    /// budget: every budgeted solve returns `None` immediately.
+    pub fn with_time(mut self, d: Option<Duration>) -> Self {
+        self.deadline = d.map(|d| Instant::now() + d);
+        self
+    }
+
+    /// `true` once the wall-clock deadline (if any) has passed.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
 
 /// The exact allocator, dispatching on instance structure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,6 +100,50 @@ impl Optimal {
 impl Default for Optimal {
     fn default() -> Self {
         Optimal::new()
+    }
+}
+
+impl Optimal {
+    /// Budgeted exact solve: like [`Allocator::allocate`] but returns
+    /// `None` instead of panicking when `budget` trips before a
+    /// certified optimum is found.
+    ///
+    /// Interval instances always complete (min-cost flow is
+    /// polynomial and far below any realistic budget). Chordal
+    /// instances try the clique-tree DP first; if the DP gives up
+    /// (oversized bag or exhausted fuel), branch-and-bound runs on the
+    /// fuel the DP left — the two tiers share one budget, so the total
+    /// work never exceeds `node_limit`. General instances go straight
+    /// to branch-and-bound. A `None` therefore means "no certified
+    /// optimum within the budget", never an error.
+    pub fn try_allocate(
+        &self,
+        instance: &Instance,
+        r: u32,
+        budget: &SolveBudget,
+    ) -> Option<Allocation> {
+        if budget.expired() {
+            return None;
+        }
+        if instance.intervals().is_some() {
+            return Some(flow::solve(instance, r));
+        }
+        if instance.is_chordal() {
+            let mut spent = 0;
+            if let Some(a) = chordal_dp::solve_metered(instance, r, budget, &mut spent) {
+                return Some(a);
+            }
+            let remaining = budget.node_limit.saturating_sub(spent);
+            if remaining == 0 {
+                return None;
+            }
+            let fallback = SolveBudget {
+                node_limit: remaining,
+                deadline: budget.deadline,
+            };
+            return branch_bound::solve_budgeted(instance, r, &fallback);
+        }
+        branch_bound::solve_budgeted(instance, r, budget)
     }
 }
 
@@ -113,6 +218,20 @@ mod tests {
         // 3-chromatic), so the optimum spills exactly one unit.
         let a = Optimal::new().allocate(&inst, 2);
         assert_eq!(a.spill_cost, 1);
+    }
+
+    #[test]
+    fn try_allocate_shares_one_budget_across_chordal_tiers() {
+        // Chordal, no intervals: the DP runs first. With fuel too
+        // small for the DP, the branch-and-bound fallback gets only
+        // the leftover (here zero), so the total work stays within
+        // node_limit instead of paying the cap once per tier.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let inst = Instance::from_weighted_graph(WeightedGraph::new(g, vec![3, 5, 4]));
+        let starved = Optimal::new().try_allocate(&inst, 2, &SolveBudget::nodes(2));
+        assert_eq!(starved, None);
+        let fueled = Optimal::new().try_allocate(&inst, 2, &SolveBudget::nodes(1000));
+        assert_eq!(fueled.expect("certifies").spill_cost, 3);
     }
 
     #[test]

@@ -1,0 +1,361 @@
+//! The portfolio allocation policy: cheap first, exact under budget.
+//!
+//! Small JIT methods are worth solving exactly — the paper's §6.2
+//! keeps SPEC JVM98 methods under ~35 temporaries precisely so its
+//! `Optimal` baseline stays tractable. A larger corpus (hundreds of
+//! temporaries, non-chordal graphs) breaks that bargain: the exact
+//! branch-and-bound search is unbounded in the worst case, while the
+//! polynomial heuristics are always fast but leave spill cost on the
+//! table for the methods that happen to be easy.
+//!
+//! [`Portfolio`] resolves the tension with a two-tier policy:
+//!
+//! 1. run a **cheap** allocator (any [`AllocatorRegistry`] name;
+//!    `LH` by default since it accepts any graph);
+//! 2. if the cheap result still spills *and* the configured budget
+//!    permits, escalate to [`Optimal::try_allocate`] under a
+//!    [`SolveBudget`] — a deterministic node-fuel cap plus an optional
+//!    wall-clock deadline threaded cooperatively through the exact
+//!    solvers;
+//! 3. keep whichever allocation costs less. An exhausted budget, an
+//!    expired deadline, or a zero budget all degrade to the cheap
+//!    result — the policy never errors and never runs unbounded.
+//!
+//! # Determinism
+//!
+//! With [`PortfolioConfig::time_budget`] unset (the default), every
+//! decision is a function of the instance and the node fuel alone, so
+//! batch reports are byte-identical at any worker count — the same
+//! contract the [`crate::batch`] driver ships under. A wall-clock
+//! budget adds a hard latency guard but makes the escalation outcome
+//! machine-dependent; use it in latency-sensitive deployments, not in
+//! reproducibility checks.
+//!
+//! # Example
+//!
+//! ```
+//! use lra_core::portfolio::{Portfolio, PortfolioConfig};
+//! use lra_core::problem::{Allocator, Instance};
+//! use lra_graph::{Graph, WeightedGraph};
+//!
+//! // C5 is 3-chromatic: with 2 registers someone must spill.
+//! let c5 = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+//! let inst = Instance::from_weighted_graph(WeightedGraph::new(c5, vec![5, 4, 3, 2, 1]));
+//! let policy = Portfolio::new(PortfolioConfig::default()).unwrap();
+//! let a = policy.allocate(&inst, 2);
+//! assert_eq!(a.spill_cost, 1); // the exact tier certifies the optimum
+//! ```
+
+use crate::cluster::LayeredHeuristic;
+use crate::driver::PipelineError;
+use crate::optimal::{Optimal, SolveBudget};
+use crate::problem::{Allocation, Allocator, Instance};
+use crate::registry::{AllocatorRegistry, AllocatorSpec};
+use std::time::Duration;
+
+/// Configuration for the [`Portfolio`] policy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PortfolioConfig {
+    /// Registry name of the cheap first-tier allocator. Defaults to
+    /// `LH`, which accepts any interference graph. If the named
+    /// allocator cannot run on a given instance (it needs intervals or
+    /// chordality the instance lacks), the policy substitutes `LH` for
+    /// that instance instead of failing.
+    pub cheap: String,
+    /// Deterministic node fuel for the exact escalation, per
+    /// [`SolveBudget::node_limit`]. `0` disables escalation entirely.
+    pub node_budget: u64,
+    /// Optional wall-clock budget for the exact escalation. `None`
+    /// (the default) keeps the policy fully deterministic;
+    /// `Some(Duration::ZERO)` — an already-expired budget — degrades
+    /// every decision to the cheap tier.
+    pub time_budget: Option<Duration>,
+}
+
+/// Default node fuel: enough for the exact solver to finish on
+/// JVM98-sized methods (tens of temporaries) and to improve a useful
+/// fraction of larger ones, while keeping the worst case at a few
+/// milliseconds per function.
+pub const DEFAULT_NODE_BUDGET: u64 = 100_000;
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        PortfolioConfig {
+            cheap: "LH".to_string(),
+            node_budget: DEFAULT_NODE_BUDGET,
+            time_budget: None,
+        }
+    }
+}
+
+impl PortfolioConfig {
+    /// Selects the cheap first-tier allocator by registry name.
+    pub fn cheap(mut self, name: impl Into<String>) -> Self {
+        self.cheap = name.into();
+        self
+    }
+
+    /// Sets the deterministic node fuel for the exact escalation.
+    pub fn node_budget(mut self, nodes: u64) -> Self {
+        self.node_budget = nodes;
+        self
+    }
+
+    /// Sets (or clears) the wall-clock budget for the exact
+    /// escalation.
+    pub fn time_budget(mut self, d: Option<Duration>) -> Self {
+        self.time_budget = d;
+        self
+    }
+}
+
+/// Where a [`PortfolioOutcome`]'s final allocation came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PortfolioSource {
+    /// The cheap tier's result was kept (no escalation, an exhausted
+    /// budget, or an exact result that was no better).
+    Cheap,
+    /// The exact tier found a strictly cheaper allocation.
+    Exact,
+}
+
+/// The full decision record of one [`Portfolio::decide`] call — what
+/// the cheap tier cost, whether the policy escalated, and whether the
+/// exact solver finished inside the budget.
+#[derive(Clone, Debug)]
+pub struct PortfolioOutcome {
+    /// The allocation the policy settled on.
+    pub allocation: Allocation,
+    /// Spill cost of the cheap tier's allocation.
+    pub cheap_cost: lra_graph::Cost,
+    /// `true` if the exact tier was attempted.
+    pub escalated: bool,
+    /// `true` if the exact tier ran to completion within the budget —
+    /// the final allocation is then a certified optimum (whether or
+    /// not it beat the cheap one).
+    pub certified: bool,
+    /// Which tier produced [`PortfolioOutcome::allocation`].
+    pub source: PortfolioSource,
+}
+
+/// The two-tier budget-bounded allocator. See the [module docs](self).
+pub struct Portfolio {
+    cfg: PortfolioConfig,
+    cheap_spec: &'static AllocatorSpec,
+    cheap: Box<dyn Allocator>,
+    fallback: LayeredHeuristic,
+    exact: Optimal,
+}
+
+impl std::fmt::Debug for Portfolio {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Portfolio")
+            .field("cfg", &self.cfg)
+            .field("cheap", &self.cheap_spec.name)
+            .finish()
+    }
+}
+
+impl Portfolio {
+    /// Builds the policy, resolving the cheap tier from the registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::UnknownAllocator`] if
+    /// [`PortfolioConfig::cheap`] names no registered allocator.
+    pub fn new(cfg: PortfolioConfig) -> Result<Self, PipelineError> {
+        let cheap_spec = AllocatorRegistry::spec(&cfg.cheap)
+            .ok_or_else(|| PipelineError::UnknownAllocator(cfg.cheap.clone()))?;
+        Ok(Portfolio {
+            cheap: cheap_spec.build(),
+            cheap_spec,
+            fallback: LayeredHeuristic::new(),
+            exact: Optimal::new(),
+            cfg,
+        })
+    }
+
+    /// The policy's configuration.
+    pub fn config(&self) -> &PortfolioConfig {
+        &self.cfg
+    }
+
+    /// The cheap tier for `instance`: the configured allocator when
+    /// its structural requirements hold, `LH` otherwise.
+    fn cheap_for(&self, instance: &Instance) -> &dyn Allocator {
+        let unusable = (self.cheap_spec.needs_chordal && !instance.is_chordal())
+            || (self.cheap_spec.needs_intervals && instance.intervals().is_none());
+        if unusable {
+            &self.fallback
+        } else {
+            self.cheap.as_ref()
+        }
+    }
+
+    /// Runs the full policy and returns the decision record; see the
+    /// [module docs](self) for the escalation rule.
+    pub fn decide(&self, instance: &Instance, r: u32) -> PortfolioOutcome {
+        let cheap = self.cheap_for(instance).allocate(instance, r);
+        let cheap_cost = cheap.spill_cost;
+        let escalate = cheap_cost > 0
+            && self.cfg.node_budget > 0
+            && self.cfg.time_budget != Some(Duration::ZERO);
+        if !escalate {
+            return PortfolioOutcome {
+                allocation: cheap,
+                cheap_cost,
+                escalated: false,
+                certified: false,
+                source: PortfolioSource::Cheap,
+            };
+        }
+        let budget = SolveBudget::nodes(self.cfg.node_budget).with_time(self.cfg.time_budget);
+        match self.exact.try_allocate(instance, r, &budget) {
+            Some(exact) if exact.spill_cost < cheap_cost => PortfolioOutcome {
+                allocation: exact,
+                cheap_cost,
+                escalated: true,
+                certified: true,
+                source: PortfolioSource::Exact,
+            },
+            Some(_) => PortfolioOutcome {
+                // The exact solver certified that the cheap result is
+                // already optimal (or tied); keep the cheap allocation
+                // so the outcome is independent of solver tie-breaks.
+                allocation: cheap,
+                cheap_cost,
+                escalated: true,
+                certified: true,
+                source: PortfolioSource::Cheap,
+            },
+            None => PortfolioOutcome {
+                allocation: cheap,
+                cheap_cost,
+                escalated: true,
+                certified: false,
+                source: PortfolioSource::Cheap,
+            },
+        }
+    }
+}
+
+impl Allocator for Portfolio {
+    fn name(&self) -> &'static str {
+        "Portfolio"
+    }
+
+    fn allocate(&self, instance: &Instance, r: u32) -> Allocation {
+        self.decide(instance, r).allocation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lra_graph::{Graph, WeightedGraph};
+
+    fn c5() -> Instance {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        Instance::from_weighted_graph(WeightedGraph::new(g, vec![5, 4, 3, 2, 1]))
+    }
+
+    #[test]
+    fn unknown_cheap_allocator_is_an_error() {
+        let err = Portfolio::new(PortfolioConfig::default().cheap("XXL")).unwrap_err();
+        assert!(matches!(err, PipelineError::UnknownAllocator(_)));
+    }
+
+    #[test]
+    fn escalation_certifies_the_optimum_within_budget() {
+        let p = Portfolio::new(PortfolioConfig::default()).unwrap();
+        let out = p.decide(&c5(), 2);
+        assert!(out.escalated);
+        assert!(out.certified);
+        assert_eq!(out.allocation.spill_cost, 1);
+        assert!(out.allocation.spill_cost <= out.cheap_cost);
+    }
+
+    #[test]
+    fn zero_node_budget_degrades_to_the_cheap_tier() {
+        let cheap_only = Portfolio::new(PortfolioConfig::default().node_budget(0)).unwrap();
+        let out = cheap_only.decide(&c5(), 2);
+        assert!(!out.escalated);
+        assert_eq!(out.source, PortfolioSource::Cheap);
+        // Byte-equal to running the cheap allocator directly.
+        let direct = LayeredHeuristic::new().allocate(&c5(), 2);
+        assert_eq!(out.allocation, direct);
+    }
+
+    #[test]
+    fn expired_time_budget_degrades_to_the_cheap_tier() {
+        let p =
+            Portfolio::new(PortfolioConfig::default().time_budget(Some(Duration::ZERO))).unwrap();
+        let out = p.decide(&c5(), 2);
+        assert!(!out.escalated);
+        let direct = LayeredHeuristic::new().allocate(&c5(), 2);
+        assert_eq!(out.allocation, direct);
+    }
+
+    #[test]
+    fn tiny_fuel_keeps_the_cheap_result_without_erroring() {
+        let p = Portfolio::new(PortfolioConfig::default().node_budget(1)).unwrap();
+        let out = p.decide(&c5(), 2);
+        assert!(out.escalated);
+        assert!(!out.certified);
+        assert_eq!(out.source, PortfolioSource::Cheap);
+    }
+
+    #[test]
+    fn zero_spill_cheap_result_never_escalates() {
+        // Edgeless graph: the cheap tier allocates everything.
+        let inst = Instance::from_weighted_graph(WeightedGraph::new(Graph::empty(4), vec![1; 4]));
+        let p = Portfolio::new(PortfolioConfig::default()).unwrap();
+        let out = p.decide(&inst, 1);
+        assert!(!out.escalated);
+        assert_eq!(out.allocation.spill_cost, 0);
+    }
+
+    #[test]
+    fn chordal_only_cheap_tier_falls_back_on_general_graphs() {
+        // BFPL needs a PEO; on the non-chordal C5 the policy must
+        // substitute LH rather than panic.
+        let p = Portfolio::new(PortfolioConfig::default().cheap("BFPL")).unwrap();
+        let out = p.decide(&c5(), 2);
+        assert!(out.allocation.spill_cost <= out.cheap_cost);
+    }
+
+    #[test]
+    fn exact_tier_wins_when_the_cheap_tier_is_suboptimal() {
+        use lra_graph::generate;
+        use rand::SeedableRng;
+        use rand_chacha::ChaCha8Rng;
+        // Deterministic scan of small random general graphs for ones
+        // where LH leaves cost on the table (the paper's Figure 14
+        // guarantees they exist); the exact tier must take those.
+        let p = Portfolio::new(PortfolioConfig::default().node_budget(1_000_000)).unwrap();
+        let mut wins = 0;
+        for seed in 0..100u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let g = generate::random_general(&mut rng, 12, 30);
+            let w = generate::random_weights(&mut rng, 12, 2);
+            let inst = Instance::from_weighted_graph(lra_graph::WeightedGraph::new(g, w));
+            let out = p.decide(&inst, 2);
+            assert!(out.allocation.spill_cost <= out.cheap_cost);
+            if out.source == PortfolioSource::Exact {
+                assert!(out.certified);
+                assert!(out.allocation.spill_cost < out.cheap_cost);
+                wins += 1;
+            }
+        }
+        assert!(
+            wins > 0,
+            "no instance where the exact tier beat LH in 100 draws"
+        );
+    }
+
+    #[test]
+    fn portfolio_is_registered() {
+        assert!(AllocatorRegistry::get("Portfolio").is_some());
+        assert!(AllocatorRegistry::get("portfolio").is_some());
+    }
+}

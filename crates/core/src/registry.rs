@@ -12,6 +12,7 @@ use crate::baselines::{BeladyLinearScan, ChaitinBriggs, LinearScan};
 use crate::cluster::LayeredHeuristic;
 use crate::layered::Layered;
 use crate::optimal::Optimal;
+use crate::portfolio::{Portfolio, PortfolioConfig};
 use crate::problem::Allocator;
 
 /// Metadata and constructor for one registered allocator.
@@ -122,6 +123,13 @@ static SPECS: &[AllocatorSpec] = &[
         needs_intervals: false,
         needs_chordal: false,
         build: || Box::new(Optimal::new()),
+    },
+    AllocatorSpec {
+        name: "Portfolio",
+        description: "LH first, exact escalation under a work budget (portfolio policy)",
+        needs_intervals: false,
+        needs_chordal: false,
+        build: || Box::new(Portfolio::new(PortfolioConfig::default()).expect("LH is registered")),
     },
 ];
 

@@ -65,5 +65,6 @@ pub use lra_targets as targets;
 
 pub use lra_core::{
     AllocatedFunction, AllocationPipeline, AllocatorRegistry, AllocatorSpec, BatchAllocator,
-    BatchItem, BatchReport, BatchSummary, CoalesceMode, PipelineError,
+    BatchItem, BatchReport, BatchSummary, CoalesceMode, PipelineError, Portfolio, PortfolioConfig,
+    PortfolioOutcome, PortfolioSource, SolveBudget,
 };

@@ -62,6 +62,14 @@ fn batch_is_deterministic_on_jvm98() {
     assert_standard_experiment_deterministic("specjvm98/");
 }
 
+/// Same property on the large-method corpus under the escalating
+/// portfolio policy — the standard configuration is fuel-only, so the
+/// escalation outcomes are thread-count-invariant too.
+#[test]
+fn batch_is_deterministic_on_jit_large_under_the_portfolio() {
+    assert_standard_experiment_deterministic("jit-large/");
+}
+
 /// Suite generation itself fans across the pool; the corpus must not
 /// depend on the worker count.
 #[test]

@@ -1,0 +1,94 @@
+//! Integration tests for the budgeted portfolio policy: determinism
+//! across worker counts (the PR-2 byte-identity guarantee extended to
+//! the escalating policy), graceful degradation on zero/expired
+//! budgets, and the never-worse-than-cheap contract.
+
+use lra::bench::suites;
+use lra::core::pipeline::InstanceKind;
+use lra::targets::{Target, TargetKind};
+use lra::{AllocationPipeline, BatchAllocator, PortfolioConfig};
+use std::time::Duration;
+
+fn jit_subset(n: usize) -> Vec<lra::ir::Function> {
+    suites::jit_large_functions(5).into_iter().take(n).collect()
+}
+
+fn base_pipeline() -> AllocationPipeline {
+    AllocationPipeline::new(Target::new(TargetKind::ArmCortexA8))
+        .instance_kind(InstanceKind::PreciseGraph)
+        .registers(6)
+        .max_rounds(3)
+}
+
+/// A fuel-only portfolio batch must render byte-identically at any
+/// worker count — the escalation decision is part of the determinism
+/// contract, not an exception to it.
+#[test]
+fn portfolio_batch_reports_are_byte_identical_across_thread_counts() {
+    let fs = jit_subset(6);
+    let pipeline = base_pipeline().portfolio(PortfolioConfig::default().node_budget(20_000));
+    let seq = BatchAllocator::new(pipeline.clone()).threads(1).run(&fs);
+    let par = BatchAllocator::new(pipeline).threads(4).run(&fs);
+    assert_eq!(seq.render(), par.render());
+    assert_eq!(seq.summary, par.summary);
+    assert_eq!(seq.summary.failed, 0);
+}
+
+/// A zero node budget disables escalation: the whole batch must be
+/// byte-identical to running the cheap allocator directly — and must
+/// not error.
+#[test]
+fn zero_node_budget_degrades_to_the_cheap_allocator() {
+    let fs = jit_subset(4);
+    let cheap = BatchAllocator::new(base_pipeline().allocator("LH")).run(&fs);
+    let zero =
+        BatchAllocator::new(base_pipeline().portfolio(PortfolioConfig::default().node_budget(0)))
+            .run(&fs);
+    assert_eq!(cheap.render(), zero.render());
+    assert_eq!(zero.summary.failed, 0);
+}
+
+/// An already-expired wall-clock budget likewise degrades to the
+/// cheap tier's result rather than erroring.
+#[test]
+fn expired_time_budget_degrades_to_the_cheap_allocator() {
+    let fs = jit_subset(4);
+    let cheap = BatchAllocator::new(base_pipeline().allocator("LH")).run(&fs);
+    let expired = BatchAllocator::new(
+        base_pipeline().portfolio(PortfolioConfig::default().time_budget(Some(Duration::ZERO))),
+    )
+    .run(&fs);
+    assert_eq!(cheap.render(), expired.render());
+    assert_eq!(expired.summary.failed, 0);
+}
+
+/// On the paper's metric (first-round allocation cost) the portfolio
+/// can only match or improve on its cheap tier, function by function.
+#[test]
+fn portfolio_first_round_cost_never_exceeds_the_cheap_tier() {
+    let fs = jit_subset(6);
+    let one_round = |pipeline: AllocationPipeline| {
+        BatchAllocator::new(pipeline.max_rounds(1))
+            .run(&fs)
+            .items
+            .into_iter()
+            .map(|i| i.outcome.expect("allocates").first_round_spill_cost())
+            .collect::<Vec<u64>>()
+    };
+    let cheap = one_round(base_pipeline().allocator("LH"));
+    let portfolio =
+        one_round(base_pipeline().portfolio(PortfolioConfig::default().node_budget(50_000)));
+    for ((c, p), f) in cheap.iter().zip(&portfolio).zip(&fs) {
+        assert!(p <= c, "{}: portfolio {p} worse than cheap {c}", f.name);
+    }
+}
+
+/// The registry name alone (no explicit config) also works end to end
+/// through the pipeline, with the default budget.
+#[test]
+fn portfolio_is_selectable_by_registry_name() {
+    let fs = jit_subset(2);
+    let report = BatchAllocator::new(base_pipeline().allocator("Portfolio")).run(&fs);
+    assert_eq!(report.summary.failed, 0);
+    assert_eq!(report.summary.functions, 2);
+}

@@ -33,8 +33,19 @@ fn every_listed_name_resolves_allocates_and_verifies() {
     let names = AllocatorRegistry::names();
     assert_eq!(
         names,
-        vec!["NL", "BL", "FPL", "BFPL", "LH", "GC", "DLS", "BLS", "Optimal"],
-        "registry advertises the paper's allocator set"
+        vec![
+            "NL",
+            "BL",
+            "FPL",
+            "BFPL",
+            "LH",
+            "GC",
+            "DLS",
+            "BLS",
+            "Optimal",
+            "Portfolio"
+        ],
+        "registry advertises the paper's allocator set plus the portfolio policy"
     );
     for name in names {
         let allocator = AllocatorRegistry::get(name)
