@@ -1,0 +1,49 @@
+//! Spill-then-reanalyse round cost: the shared incremental
+//! `FunctionAnalysis` path (the default) against forced full per-round
+//! recomputation (`LRA_FULL_REANALYSIS`). Both produce byte-identical
+//! reports — this bench measures the wall-clock gap on the largest
+//! `jit-large` methods, where re-analysis dominates the loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lra_bench::suites;
+use lra_core::driver::AllocationPipeline;
+use lra_core::pipeline::InstanceKind;
+use lra_ir::Function;
+use lra_targets::{Target, TargetKind};
+
+/// The largest jit-large methods — the densest spill loops.
+fn largest_functions(count: usize) -> Vec<Function> {
+    let mut fs = suites::jit_large_functions(2013);
+    fs.sort_by_key(|f| std::cmp::Reverse(f.value_count));
+    fs.truncate(count);
+    fs
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    let fs = largest_functions(4);
+    let mut group = c.benchmark_group("pipeline_rounds");
+    group.sample_size(10);
+    for full in [false, true] {
+        let label = if full { "full" } else { "incremental" };
+        // LH (not Portfolio) so the result cache and exact tier don't
+        // blur the re-analysis comparison.
+        let pipeline = AllocationPipeline::new(Target::new(TargetKind::ArmCortexA8))
+            .allocator("LH")
+            .instance_kind(InstanceKind::PreciseGraph)
+            .registers(6)
+            .max_rounds(4)
+            .full_reanalysis(full);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &pipeline, |b, p| {
+            b.iter(|| {
+                for f in &fs {
+                    let report = p.run(f).expect("LH accepts any graph");
+                    assert!(report.rounds >= 1);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounds);
+criterion_main!(benches);

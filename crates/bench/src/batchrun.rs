@@ -72,6 +72,14 @@ pub fn standard_experiments(seed: u64) -> Vec<BatchExperiment> {
 /// allocator on the precise-graph corpora, stay per-item); `None`
 /// keeps each corpus's default shown above.
 pub fn standard_experiments_with_policy(seed: u64, policy: Option<&str>) -> Vec<BatchExperiment> {
+    experiments(seed, policy, standard_portfolio_config())
+}
+
+fn experiments(
+    seed: u64,
+    policy: Option<&str>,
+    portfolio_cfg: PortfolioConfig,
+) -> Vec<BatchExperiment> {
     let experiment = |suite: &'static str,
                       default_allocator: &'static str,
                       kind: InstanceKind,
@@ -84,7 +92,7 @@ pub fn standard_experiments_with_policy(seed: u64, policy: Option<&str>) -> Vec<
             .max_rounds(max_rounds);
         let chosen = policy.unwrap_or(default_allocator);
         let (label, pipeline) = if chosen.eq_ignore_ascii_case("portfolio") {
-            ("Portfolio", base.portfolio(standard_portfolio_config()))
+            ("Portfolio", base.portfolio(portfolio_cfg.clone()))
         } else {
             (chosen, base.allocator(chosen))
         };
@@ -170,7 +178,12 @@ pub fn record(seed: u64, thread_counts: &[usize], reps: usize) -> Vec<RecordedEx
         Some(&1),
         "thread_counts must start with 1 (the sequential determinism reference)"
     );
-    standard_experiments(seed)
+    // The recorded baselines must track *solver* cost: with the
+    // process-wide portfolio result cache on, every sample after the
+    // first would be mostly cache lookups and a real solver
+    // regression would never move the median. The batch CLI keeps the
+    // cache (it is the shipped default); record disables it.
+    experiments(seed, None, standard_portfolio_config().cache(false))
         .iter()
         .map(|exp| {
             // The first sample doubles as the determinism reference

@@ -1,0 +1,256 @@
+//! Exact-keyed memoization of allocation results.
+//!
+//! JIT batches re-submit the same methods over and over (re-entrant
+//! compilation, tiering, identical trampolines), and the
+//! spill-then-reanalyse loop itself re-solves structurally identical
+//! instances whenever two rounds produce the same graph. A
+//! [`ResultCache`] lets a policy skip the whole solve in those cases.
+//!
+//! Keys are **exact**, not hashes-of-hashes: an [`InstanceKey`]
+//! embeds the full adjacency bit matrix and weight vector (plus the
+//! register count and any budget knobs), so a hit is guaranteed to be
+//! the same problem and the memoized result is byte-identical to a
+//! fresh solve. That makes the cache invisible to the batch driver's
+//! determinism contract — hit/miss patterns (and any eviction policy)
+//! can differ across thread counts and runs without changing a single
+//! output byte.
+//!
+//! The table is bounded: when `capacity` entries are reached, the next
+//! insert clears it wholesale (no LRU bookkeeping on the hot path;
+//! correctness does not depend on what stays cached).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::problem::Instance;
+use lra_graph::{Cost, Interval};
+
+/// An exact, self-contained description of one allocation query:
+/// the instance's adjacency bit matrix, weights and (for interval
+/// instances) the live intervals themselves, plus the query
+/// parameters (register count, solver budgets, cheap-tier name).
+///
+/// Two keys compare equal **iff** a solver would see the identical
+/// problem, so memoized results are always safe to reuse. The
+/// intervals must be part of the key because both tiers can consume
+/// them directly (linear-scan cheap tiers, the min-cost-flow exact
+/// solver): two interval instances with the same intersection graph
+/// but different endpoints are different problems.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct InstanceKey {
+    vertices: usize,
+    registers: u32,
+    cheap: String,
+    node_budget: u64,
+    time_budget: Option<Duration>,
+    weights: Vec<Cost>,
+    /// Concatenated per-vertex adjacency rows (64 vertices per word).
+    adjacency: Vec<u64>,
+    /// The live intervals, when the instance carries them.
+    intervals: Option<Vec<Interval>>,
+}
+
+impl InstanceKey {
+    /// Fingerprints `instance` under the given query parameters.
+    pub fn new(
+        instance: &Instance,
+        registers: u32,
+        cheap: &str,
+        node_budget: u64,
+        time_budget: Option<Duration>,
+    ) -> Self {
+        let g = instance.graph();
+        let n = g.vertex_count();
+        let mut adjacency = Vec::with_capacity(n * n.div_ceil(64));
+        for v in 0..n {
+            adjacency.extend_from_slice(g.neighbor_row(v).words());
+        }
+        InstanceKey {
+            vertices: n,
+            registers,
+            cheap: cheap.to_string(),
+            node_budget,
+            time_budget,
+            weights: instance.weighted_graph().weights().to_vec(),
+            adjacency,
+            intervals: instance.intervals().map(<[Interval]>::to_vec),
+        }
+    }
+}
+
+/// A bounded, thread-safe memo table from [`InstanceKey`]s to
+/// clonable results. See the [module docs](self).
+pub struct ResultCache<V> {
+    inner: Mutex<Inner<V>>,
+    capacity: usize,
+}
+
+struct Inner<V> {
+    map: HashMap<InstanceKey, V>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<V: Clone> ResultCache<V> {
+    /// An empty cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity cache cannot hold anything");
+        ResultCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                hits: 0,
+                misses: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Looks `key` up, counting a hit or miss.
+    pub fn get(&self, key: &InstanceKey) -> Option<V> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        match inner.map.get(key).cloned() {
+            Some(v) => {
+                inner.hits += 1;
+                Some(v)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Memoizes `value` under `key`. A full table is cleared wholesale
+    /// first (results are exact-keyed, so eviction never affects
+    /// output bytes — only future hit rates).
+    pub fn insert(&self, key: InstanceKey, value: V) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            inner.map.clear();
+        }
+        inner.map.insert(key, value);
+    }
+
+    /// Entries currently memoized.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// `true` when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` since construction (or the last
+    /// [`ResultCache::reset_stats`]).
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("cache lock");
+        (inner.hits, inner.misses)
+    }
+
+    /// Zeroes the hit/miss counters (tests).
+    pub fn reset_stats(&self) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.hits = 0;
+        inner.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lra_graph::{Graph, WeightedGraph};
+
+    fn inst(edges: &[(usize, usize)], weights: Vec<Cost>) -> Instance {
+        let g = Graph::from_edges(weights.len(), edges);
+        Instance::from_weighted_graph(WeightedGraph::new(g, weights))
+    }
+
+    #[test]
+    fn identical_instances_share_a_key() {
+        let a = inst(&[(0, 1), (1, 2)], vec![1, 2, 3]);
+        let b = inst(&[(1, 2), (0, 1)], vec![1, 2, 3]);
+        let ka = InstanceKey::new(&a, 4, "LH", 100, None);
+        let kb = InstanceKey::new(&b, 4, "LH", 100, None);
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn any_parameter_difference_changes_the_key() {
+        let a = inst(&[(0, 1), (1, 2)], vec![1, 2, 3]);
+        let base = InstanceKey::new(&a, 4, "LH", 100, None);
+        let diffs = [
+            InstanceKey::new(&inst(&[(0, 1)], vec![1, 2, 3]), 4, "LH", 100, None),
+            InstanceKey::new(&inst(&[(0, 1), (1, 2)], vec![1, 2, 4]), 4, "LH", 100, None),
+            InstanceKey::new(&a, 5, "LH", 100, None),
+            InstanceKey::new(&a, 4, "GC", 100, None),
+            InstanceKey::new(&a, 4, "LH", 101, None),
+            InstanceKey::new(&a, 4, "LH", 100, Some(Duration::from_millis(1))),
+        ];
+        for (i, k) in diffs.iter().enumerate() {
+            assert_ne!(&base, k, "variant {i} must not collide");
+        }
+    }
+
+    #[test]
+    fn interval_endpoints_are_part_of_the_key() {
+        // Same intersection graph and weights, different endpoints:
+        // linear-scan tiers and the flow solver read the endpoints, so
+        // these must be distinct problems.
+        let a =
+            Instance::from_intervals(vec![Interval::new(0, 2), Interval::new(1, 3)], vec![1, 1]);
+        let b =
+            Instance::from_intervals(vec![Interval::new(0, 10), Interval::new(1, 3)], vec![1, 1]);
+        assert_eq!(a.graph().edge_count(), b.graph().edge_count());
+        let ka = InstanceKey::new(&a, 1, "BLS", 100, None);
+        let kb = InstanceKey::new(&b, 1, "BLS", 100, None);
+        assert_ne!(ka, kb);
+        // An interval instance never collides with the bare-graph
+        // instance of the same intersection graph.
+        let bare = inst(&[(0, 1)], vec![1, 1]);
+        assert_ne!(ka, InstanceKey::new(&bare, 1, "BLS", 100, None));
+    }
+
+    #[test]
+    fn get_insert_and_stats() {
+        let cache: ResultCache<u64> = ResultCache::new(8);
+        let a = inst(&[(0, 1)], vec![1, 2]);
+        let k = InstanceKey::new(&a, 2, "LH", 10, None);
+        assert_eq!(cache.get(&k), None);
+        cache.insert(k.clone(), 42);
+        assert_eq!(cache.get(&k), Some(42));
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+        cache.reset_stats();
+        assert_eq!(cache.stats(), (0, 0));
+    }
+
+    #[test]
+    fn full_cache_clears_wholesale_and_keeps_working() {
+        let cache: ResultCache<usize> = ResultCache::new(2);
+        let keys: Vec<InstanceKey> = (0..3)
+            .map(|w| InstanceKey::new(&inst(&[], vec![w as Cost]), 1, "LH", 0, None))
+            .collect();
+        cache.insert(keys[0].clone(), 0);
+        cache.insert(keys[1].clone(), 1);
+        assert_eq!(cache.len(), 2);
+        cache.insert(keys[2].clone(), 2);
+        assert_eq!(cache.len(), 1, "full table cleared before insert");
+        assert_eq!(cache.get(&keys[2]), Some(2));
+        // Re-inserting an existing key never triggers the clear.
+        cache.insert(keys[2].clone(), 3);
+        assert_eq!(cache.get(&keys[2]), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_rejected() {
+        let _ = ResultCache::<u8>::new(0);
+    }
+}

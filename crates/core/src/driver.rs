@@ -11,7 +11,11 @@
 //!    spilled set ([`lra_ir::spill_code`]),
 //! 4. **re-analysis** — the rewritten function is re-analysed and
 //!    re-allocated until no further spilling is needed (the reloads of
-//!    §4.3 carry residual pressure, so one round is not always enough),
+//!    §4.3 carry residual pressure, so one round is not always enough).
+//!    Each round shares one [`lra_ir::FunctionAnalysis`], updated
+//!    incrementally from the spill rewrite's dirty blocks; set
+//!    `LRA_FULL_REANALYSIS=1` (or [`AllocationPipeline::full_reanalysis`])
+//!    to force the byte-identical full recomputation instead,
 //! 5. **assignment + verification** — concrete registers are assigned
 //!    and the result is checked ([`crate::verify`]).
 //!
@@ -48,13 +52,14 @@
 
 use crate::assign::Assignment;
 use crate::coalesce;
-use crate::pipeline::{build_instance, copy_affinities, InstanceKind};
+use crate::pipeline::{build_instance_with, copy_affinities_with, InstanceKind};
 use crate::portfolio::{Portfolio, PortfolioConfig};
 use crate::problem::{Allocator, Instance};
 use crate::registry::AllocatorRegistry;
 use crate::verify::{self, Feasibility};
 use lra_graph::BitSet;
-use lra_ir::{liveness, spill_code, Function};
+use lra_ir::analysis;
+use lra_ir::{spill_code, Function, FunctionAnalysis};
 use lra_targets::Target;
 
 /// Whether (and how) the pipeline coalesces copy-related variables
@@ -127,6 +132,7 @@ pub struct AllocationPipeline {
     max_rounds: u32,
     optimized_spill: bool,
     portfolio: Option<PortfolioConfig>,
+    full_reanalysis: Option<bool>,
 }
 
 impl AllocationPipeline {
@@ -144,6 +150,7 @@ impl AllocationPipeline {
             max_rounds: 8,
             optimized_spill: false,
             portfolio: None,
+            full_reanalysis: None,
         }
     }
 
@@ -202,6 +209,19 @@ impl AllocationPipeline {
         self
     }
 
+    /// Forces (or forbids) full per-round recomputation of every
+    /// analysis instead of the default incremental re-analysis.
+    ///
+    /// The default (unset) defers to the `LRA_FULL_REANALYSIS`
+    /// environment variable ([`analysis::full_reanalysis_forced`]).
+    /// Both paths produce byte-identical reports — CI diffs them — so
+    /// this switch exists purely for that verification and for
+    /// benchmarking the incremental speedup.
+    pub fn full_reanalysis(mut self, enabled: bool) -> Self {
+        self.full_reanalysis = Some(enabled);
+        self
+    }
+
     /// Runs the full pipeline on `f`.
     pub fn run(&self, f: &Function) -> Result<AllocatedFunction, PipelineError> {
         let spec = AllocatorRegistry::spec(&self.allocator)
@@ -216,7 +236,17 @@ impl AllocationPipeline {
         let r = self
             .registers
             .unwrap_or_else(|| self.target.register_count());
-        let max_live_before = liveness::analyze(f).max_live;
+        let force_full = self
+            .full_reanalysis
+            .unwrap_or_else(analysis::full_reanalysis_forced);
+
+        // The one analysis of the round: built once here, then updated
+        // incrementally after each spill rewrite. Instance
+        // construction, spill costs, the coalescing affinities and the
+        // stall check below all borrow it — no second liveness run per
+        // round anywhere.
+        let mut func_analysis = FunctionAnalysis::compute(f);
+        let max_live_before = func_analysis.liveness.max_live;
 
         let mut func = f.clone();
         let mut round_costs: Vec<u64> = Vec::new();
@@ -230,12 +260,18 @@ impl AllocationPipeline {
 
         let (assignment, verdict) = loop {
             rounds += 1;
-            let inst = build_instance(&func, &self.target, self.kind);
+            let inst = build_instance_with(&func, &func_analysis, &self.target, self.kind);
             if spec.needs_chordal && !inst.is_chordal() {
                 return Err(PipelineError::NeedsChordal(spec.name));
             }
-            let round =
-                self.allocate_round(&inst, &func, allocator.as_ref(), spec.needs_chordal, r);
+            let round = self.allocate_round(
+                &inst,
+                &func,
+                &func_analysis,
+                allocator.as_ref(),
+                spec.needs_chordal,
+                r,
+            );
             round_costs.push(round.cost);
             saved_moves += round.saved_moves;
 
@@ -249,16 +285,20 @@ impl AllocationPipeline {
                 func.value_count as usize,
                 round.spilled.iter().copied(),
             );
-            let (next, stats) = if self.optimized_spill {
-                let (g, stats, _) = spill_code::insert_spill_code_optimized(&func, &spill_set);
-                (g, stats)
+            let rewrite = if self.optimized_spill {
+                spill_code::rewrite_spill_code_optimized(&func, &spill_set)
             } else {
-                spill_code::insert_spill_code(&func, &spill_set)
+                spill_code::rewrite_spill_code(&func, &spill_set)
             };
-            stores += stats.stores;
-            loads += stats.loads;
+            stores += rewrite.stats.stores;
+            loads += rewrite.stats.loads;
             spilled_values.extend(round.spilled.iter().copied());
-            func = next;
+            func = rewrite.function;
+            func_analysis = if force_full {
+                FunctionAnalysis::compute(&func)
+            } else {
+                func_analysis.after_spill(&func, &rewrite.delta)
+            };
 
             // Stop when out of budget, or when spilling stopped lowering
             // MaxLive: the binding pressure point is then made of
@@ -274,7 +314,7 @@ impl AllocationPipeline {
             // the way to `max_rounds`, tripling wall-clock on the
             // lao-kernels corpus for zero extra convergences, so the
             // cutoff is deliberately R-independent.)
-            let max_live = liveness::analyze(&func).max_live;
+            let max_live = func_analysis.liveness.max_live;
             let stuck = max_live >= prev_max_live;
             prev_max_live = max_live;
             if rounds >= self.max_rounds || stuck {
@@ -282,10 +322,11 @@ impl AllocationPipeline {
             }
         };
 
-        // `prev_max_live` tracks the liveness of `func` as rewritten:
-        // on a non-converged exit it was just recomputed, and on a
-        // converged exit `func` is unchanged since it was last measured.
-        let max_live_after = prev_max_live;
+        // `func_analysis` always describes `func` as it stands: on a
+        // non-converged exit it was just updated after the final
+        // rewrite, and on a converged exit `func` is unchanged since
+        // it was analysed.
+        let max_live_after = func_analysis.liveness.max_live;
         let spilled = BitSet::from_iter_with_capacity(
             func.value_count as usize,
             spilled_values.iter().copied(),
@@ -321,6 +362,7 @@ impl AllocationPipeline {
         &self,
         inst: &Instance,
         func: &Function,
+        func_analysis: &FunctionAnalysis,
         allocator: &dyn Allocator,
         needs_chordal: bool,
         r: u32,
@@ -329,7 +371,7 @@ impl AllocationPipeline {
         let quotient = match self.coalesce {
             CoalesceMode::Off => None,
             mode => {
-                let aff = copy_affinities(func);
+                let aff = copy_affinities_with(func, &func_analysis.loops);
                 if aff.is_empty() {
                     None
                 } else {
@@ -471,8 +513,10 @@ impl AllocatedFunction {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::build_instance;
     use lra_ir::builder::FunctionBuilder;
     use lra_ir::genprog::{random_ssa_function, SsaConfig};
+    use lra_ir::liveness;
     use lra_targets::TargetKind;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;

@@ -54,6 +54,7 @@
 pub mod assign;
 pub mod baselines;
 pub mod batch;
+pub mod cache;
 pub mod cluster;
 pub mod coalesce;
 pub mod driver;

@@ -28,7 +28,11 @@ struct Search<'a> {
     instance: &'a Instance,
     order: Vec<usize>,
     r: u32,
-    colors: Vec<Option<u32>>,
+    /// Vertices currently holding each colour, as bit rows: colour `c`
+    /// is free for `v` iff `assigned[c]` is disjoint from `v`'s
+    /// neighbourhood row — a word-level test instead of one
+    /// colour-lookup per neighbour on every search node.
+    assigned: Vec<BitSet>,
     best_spill: Cost,
     best_set: BitSet,
     nodes: u64,
@@ -58,26 +62,20 @@ impl Search<'_> {
             return true;
         }
         let v = self.order[i];
-        let g = self.instance.graph();
+        let row = self.instance.graph().neighbor_row(v);
 
         // Try colours first (allocating is never charged), with symmetry
         // breaking: at most one fresh colour.
         let limit = (used_colors + 1).min(self.r);
-        let mut neighbor_used = 0u64;
-        for &u in g.neighbor_indices(v) {
-            if let Some(c) = self.colors[u as usize] {
-                neighbor_used |= 1 << c;
-            }
-        }
         for c in 0..limit {
-            if neighbor_used & (1 << c) != 0 {
-                continue;
+            if !row.is_disjoint(&self.assigned[c as usize]) {
+                continue; // a neighbour holds this colour
             }
-            self.colors[v] = Some(c);
+            self.assigned[c as usize].insert(v);
             allocated.insert(v);
             let ok = self.run(i + 1, spill, used_colors.max(c + 1), allocated);
             allocated.remove(v);
-            self.colors[v] = None;
+            self.assigned[c as usize].remove(v);
             if !ok {
                 return false;
             }
@@ -126,7 +124,10 @@ pub fn solve_budgeted(instance: &Instance, r: u32, budget: &SolveBudget) -> Opti
         instance,
         order,
         r,
-        colors: vec![None; n],
+        // min(r, n): the search can never use more colours than
+        // vertices, and an absurd caller-supplied R must not allocate
+        // R bit rows.
+        assigned: vec![BitSet::new(n); (r as usize).min(n)],
         // `run` records strictly better solutions only, so start one
         // above the incumbent; if nothing beats it, return it as is.
         best_spill: incumbent_spill + 1,

@@ -14,7 +14,7 @@
 use crate::problem::Instance;
 use lra_ir::dom::DomTree;
 use lra_ir::loops::LoopInfo;
-use lra_ir::{interference, liveness, spill_cost, Function};
+use lra_ir::{interference, spill_cost, Function, FunctionAnalysis};
 use lra_targets::Target;
 
 /// Which view of the function's live ranges to build.
@@ -28,22 +28,34 @@ pub enum InstanceKind {
 
 /// Compiles `f` down to a spill-everywhere instance for `target`.
 ///
-/// Runs dominators, loop analysis, liveness, spill-cost estimation and
-/// interference/interval construction.
+/// Runs the full [`FunctionAnalysis`] (dominators, loops, liveness,
+/// linearisation) and hands off to [`build_instance_with`]. Callers
+/// inside the spill-then-reanalyse loop should compute (or
+/// incrementally update) one `FunctionAnalysis` per round and call
+/// [`build_instance_with`] directly so nothing is analysed twice.
 pub fn build_instance(f: &Function, target: &Target, kind: InstanceKind) -> Instance {
-    let live = liveness::analyze(f);
-    let dom = DomTree::compute(f);
-    let loops = LoopInfo::compute(f, &dom);
-    let costs = spill_cost::spill_costs(f, &live, &loops, target);
+    build_instance_with(f, &FunctionAnalysis::compute(f), target, kind)
+}
+
+/// [`build_instance`] on a precomputed [`FunctionAnalysis`]: spill-cost
+/// estimation plus interference/interval construction, borrowing the
+/// shared liveness, loop and linearisation results.
+pub fn build_instance_with(
+    f: &Function,
+    analysis: &FunctionAnalysis,
+    target: &Target,
+    kind: InstanceKind,
+) -> Instance {
+    let live = &analysis.liveness;
+    let costs = spill_cost::spill_costs(f, live, &analysis.loops, target);
 
     match kind {
         InstanceKind::PreciseGraph => {
-            let g = interference::interference_graph(f, &live);
+            let g = interference::interference_graph(f, live);
             Instance::from_weighted_graph(lra_graph::WeightedGraph::new(g, costs))
         }
         InstanceKind::LinearIntervals => {
-            let lin = interference::linearize(f);
-            let ivs = interference::live_intervals(f, &live, &lin);
+            let ivs = interference::live_intervals(f, live, &analysis.linearization);
             Instance::from_intervals(ivs, costs)
         }
     }
@@ -58,9 +70,16 @@ pub fn build_instance(f: &Function, target: &Target, kind: InstanceKind) -> Inst
 ///   weighted by the incoming predecessor's frequency (the cost of the
 ///   move that SSA destruction would otherwise insert on that edge).
 pub fn copy_affinities(f: &Function) -> crate::coalesce::Affinities {
-    use lra_ir::Opcode;
     let dom = DomTree::compute(f);
     let loops = LoopInfo::compute(f, &dom);
+    copy_affinities_with(f, &loops)
+}
+
+/// [`copy_affinities`] on a precomputed loop analysis — the variant the
+/// pipeline's coalescing rounds use so the shared
+/// [`FunctionAnalysis::loops`] is not recomputed per round.
+pub fn copy_affinities_with(f: &Function, loops: &LoopInfo) -> crate::coalesce::Affinities {
+    use lra_ir::Opcode;
     let mut aff = crate::coalesce::Affinities::new();
     for b in f.block_ids() {
         let freq = loops.frequency(b);

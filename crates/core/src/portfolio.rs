@@ -46,11 +46,13 @@
 //! assert_eq!(a.spill_cost, 1); // the exact tier certifies the optimum
 //! ```
 
+use crate::cache::{InstanceKey, ResultCache};
 use crate::cluster::LayeredHeuristic;
 use crate::driver::PipelineError;
 use crate::optimal::{Optimal, SolveBudget};
 use crate::problem::{Allocation, Allocator, Instance};
 use crate::registry::{AllocatorRegistry, AllocatorSpec};
+use std::sync::OnceLock;
 use std::time::Duration;
 
 /// Configuration for the [`Portfolio`] policy.
@@ -70,6 +72,15 @@ pub struct PortfolioConfig {
     /// `Some(Duration::ZERO)` — an already-expired budget — degrades
     /// every decision to the cheap tier.
     pub time_budget: Option<Duration>,
+    /// Memoize decisions in the process-wide [`portfolio_cache`]
+    /// (default `true`): a batch re-submitting an identical method —
+    /// or a spill loop reproducing an identical instance — skips both
+    /// tiers entirely. Exact-keyed, so results are byte-identical with
+    /// the cache on or off; disable only to measure raw solver time.
+    /// Queries carrying a wall-clock [`PortfolioConfig::time_budget`]
+    /// are never memoized — their outcomes are timing-dependent, and
+    /// caching one would freeze a machine-speed artefact.
+    pub cache: bool,
 }
 
 /// Default node fuel: enough for the exact solver to finish on
@@ -84,6 +95,7 @@ impl Default for PortfolioConfig {
             cheap: "LH".to_string(),
             node_budget: DEFAULT_NODE_BUDGET,
             time_budget: None,
+            cache: true,
         }
     }
 }
@@ -107,6 +119,30 @@ impl PortfolioConfig {
         self.time_budget = d;
         self
     }
+
+    /// Enables or disables the process-wide result cache
+    /// ([`portfolio_cache`]).
+    pub fn cache(mut self, enabled: bool) -> Self {
+        self.cache = enabled;
+        self
+    }
+}
+
+/// Entries the process-wide portfolio cache holds before clearing
+/// wholesale. Sized for a large batch's worth of distinct methods ×
+/// spill rounds; at ~200-temporary instances one entry is a few KiB.
+pub const PORTFOLIO_CACHE_CAPACITY: usize = 1024;
+
+/// The process-wide memo table behind [`PortfolioConfig::cache`]:
+/// shared by every [`Portfolio`] in the process (the batch driver
+/// builds one pipeline — and thus one policy — per function, so a
+/// per-policy cache would never see the cross-function repeats the
+/// ROADMAP's result-cache item targets). Exact-keyed on the full
+/// instance plus every decision-relevant config knob, so sharing never
+/// changes an output byte.
+pub fn portfolio_cache() -> &'static ResultCache<PortfolioOutcome> {
+    static CACHE: OnceLock<ResultCache<PortfolioOutcome>> = OnceLock::new();
+    CACHE.get_or_init(|| ResultCache::new(PORTFOLIO_CACHE_CAPACITY))
 }
 
 /// Where a [`PortfolioOutcome`]'s final allocation came from.
@@ -193,8 +229,36 @@ impl Portfolio {
     }
 
     /// Runs the full policy and returns the decision record; see the
-    /// [module docs](self) for the escalation rule.
+    /// [module docs](self) for the escalation rule. With
+    /// [`PortfolioConfig::cache`] set, an instance already decided
+    /// anywhere in the process under the same configuration returns
+    /// its memoized (bit-identical) outcome without running either
+    /// tier.
     pub fn decide(&self, instance: &Instance, r: u32) -> PortfolioOutcome {
+        // A wall-clock budget makes the decision timing-dependent;
+        // memoizing it would freeze one machine-speed-dependent
+        // outcome for the whole process, so those queries always
+        // re-solve (they are already outside the determinism
+        // contract, but the cache must never *change* behaviour).
+        if !self.cfg.cache || self.cfg.time_budget.is_some() {
+            return self.decide_uncached(instance, r);
+        }
+        let key = InstanceKey::new(
+            instance,
+            r,
+            self.cheap_spec.name,
+            self.cfg.node_budget,
+            self.cfg.time_budget,
+        );
+        if let Some(hit) = portfolio_cache().get(&key) {
+            return hit;
+        }
+        let outcome = self.decide_uncached(instance, r);
+        portfolio_cache().insert(key, outcome.clone());
+        outcome
+    }
+
+    fn decide_uncached(&self, instance: &Instance, r: u32) -> PortfolioOutcome {
         let cheap = self.cheap_for(instance).allocate(instance, r);
         let cheap_cost = cheap.spill_cost;
         let escalate = cheap_cost > 0
@@ -351,6 +415,82 @@ mod tests {
             wins > 0,
             "no instance where the exact tier beat LH in 100 draws"
         );
+    }
+
+    fn outcomes_equal(a: &PortfolioOutcome, b: &PortfolioOutcome) -> bool {
+        a.allocation == b.allocation
+            && a.cheap_cost == b.cheap_cost
+            && a.escalated == b.escalated
+            && a.certified == b.certified
+            && a.source == b.source
+    }
+
+    #[test]
+    fn cached_decisions_are_byte_identical_to_fresh_ones() {
+        // Unusual weights so no other test shares this cache entry.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let inst =
+            Instance::from_weighted_graph(WeightedGraph::new(g, vec![7001, 7002, 7003, 7004, 1]));
+        let cached = Portfolio::new(PortfolioConfig::default()).unwrap();
+        let uncached = Portfolio::new(PortfolioConfig::default().cache(false)).unwrap();
+        let first = cached.decide(&inst, 2);
+        let second = cached.decide(&inst, 2); // memo hit
+        let reference = uncached.decide(&inst, 2); // never touches the cache
+        assert!(outcomes_equal(&first, &second));
+        assert!(outcomes_equal(&first, &reference));
+        assert!(!portfolio_cache().is_empty());
+    }
+
+    #[test]
+    fn cache_hits_skip_resolving_repeated_instances() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mk = || Instance::from_weighted_graph(WeightedGraph::new(g.clone(), vec![9901; 4]));
+        let p = Portfolio::new(PortfolioConfig::default()).unwrap();
+        let _ = p.decide(&mk(), 1);
+        let (h0, _) = portfolio_cache().stats();
+        // Two independently built but identical instances: both must
+        // hit the entry the first decide created.
+        let _ = p.decide(&mk(), 1);
+        let _ = p.decide(&mk(), 1);
+        let (h1, _) = portfolio_cache().stats();
+        assert!(h1 >= h0 + 2, "expected 2 more hits ({h0} -> {h1})");
+    }
+
+    #[test]
+    fn time_budgeted_decisions_are_never_memoized() {
+        use crate::cache::InstanceKey;
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let inst =
+            Instance::from_weighted_graph(WeightedGraph::new(g, vec![6601, 6602, 6603, 6604, 1]));
+        let cfg = PortfolioConfig::default().time_budget(Some(Duration::from_secs(1000)));
+        let p = Portfolio::new(cfg.clone()).unwrap();
+        let out = p.decide(&inst, 2);
+        assert!(out.escalated);
+        let key = InstanceKey::new(&inst, 2, "LH", cfg.node_budget, cfg.time_budget);
+        assert!(
+            portfolio_cache().get(&key).is_none(),
+            "timing-dependent outcome must not be cached"
+        );
+    }
+
+    #[test]
+    fn different_budgets_never_share_cache_entries() {
+        // Same instance, tiny vs default fuel: the tiny-fuel decision
+        // (uncertified) must not be served to the default-fuel policy.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let mk = || {
+            Instance::from_weighted_graph(WeightedGraph::new(
+                g.clone(),
+                vec![8101, 8102, 8103, 8104, 1],
+            ))
+        };
+        let tiny = Portfolio::new(PortfolioConfig::default().node_budget(1)).unwrap();
+        let full = Portfolio::new(PortfolioConfig::default()).unwrap();
+        let t = tiny.decide(&mk(), 2);
+        let f = full.decide(&mk(), 2);
+        assert!(!t.certified);
+        assert!(f.certified);
+        assert_eq!(f.allocation.spill_cost, 1);
     }
 
     #[test]

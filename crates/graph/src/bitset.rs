@@ -70,6 +70,39 @@ impl BitSet {
         self.capacity
     }
 
+    /// The backing words, 64 keys per word (lowest key in bit 0 of
+    /// word 0). Exposed for cheap fingerprinting/serialisation.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Extends the capacity to `capacity`, keeping every present key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is smaller than the current capacity —
+    /// shrinking would silently drop keys.
+    pub fn grow(&mut self, capacity: usize) {
+        assert!(
+            capacity >= self.capacity,
+            "cannot grow capacity {} down to {capacity}",
+            self.capacity
+        );
+        self.words.resize(capacity.div_ceil(64), 0);
+        self.capacity = capacity;
+    }
+
+    /// Overwrites `self` with the contents of `other`, reusing the
+    /// existing allocation (unlike `*self = other.clone()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn copy_from(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
     /// Inserts `key`, returning `true` if it was not already present.
     ///
     /// # Panics
@@ -299,6 +332,42 @@ mod tests {
         s.clear();
         assert!(s.is_empty());
         assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn grow_preserves_keys_and_extends_capacity() {
+        let mut s = BitSet::from_iter_with_capacity(70, [0, 63, 69]);
+        s.grow(200);
+        assert_eq!(s.capacity(), 200);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 69]);
+        s.insert(199);
+        assert!(s.contains(199));
+        // Growing to an equal capacity is a no-op.
+        s.grow(200);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot grow")]
+    fn grow_rejects_shrinking() {
+        let mut s = BitSet::new(10);
+        s.grow(5);
+    }
+
+    #[test]
+    fn copy_from_reuses_allocation() {
+        let a = BitSet::from_iter_with_capacity(130, [1, 64, 129]);
+        let mut b = BitSet::new(130);
+        b.insert(7);
+        b.copy_from(&a);
+        assert_eq!(a, b);
+        assert!(!b.contains(7));
+    }
+
+    #[test]
+    fn words_expose_backing_storage() {
+        let s = BitSet::from_iter_with_capacity(70, [0, 65]);
+        assert_eq!(s.words(), &[1u64, 2u64]);
     }
 
     #[test]

@@ -142,15 +142,18 @@ impl CliqueTree {
                 bags_of_vertex[v.index()].push(i);
             }
         }
-        let mut edges: Vec<(usize, usize, usize)> = Vec::new(); // (weight, i, j)
-        let mut seen = std::collections::HashSet::new();
+        // Candidate edges as (weight, i, j); pairs deduped with
+        // per-bag bit rows (keyed on the smaller index) instead of a
+        // hashed pair set.
+        let mut edges: Vec<(usize, usize, usize)> = Vec::new();
+        let mut paired: Vec<BitSet> = vec![BitSet::new(k); k];
         for list in &bags_of_vertex {
             for (a, &i) in list.iter().enumerate() {
                 for &j in &list[a + 1..] {
-                    let key = (i.min(j), i.max(j));
-                    if seen.insert(key) {
-                        let w = bag_sets[i].intersection_len(&bag_sets[j]);
-                        edges.push((w, key.0, key.1));
+                    let (lo, hi) = (i.min(j), i.max(j));
+                    if paired[lo].insert(hi) {
+                        let w = bag_sets[lo].intersection_len(&bag_sets[hi]);
+                        edges.push((w, lo, hi));
                     }
                 }
             }
@@ -236,33 +239,35 @@ impl CliqueTree {
     /// containing it form a connected subtree. Used by tests.
     pub fn junction_property_holds(&self) -> bool {
         let n = self.bag_sets.first().map_or(0, BitSet::capacity);
-        'vertex: for v in 0..n {
-            let holding: Vec<usize> = (0..self.bags.len())
-                .filter(|&b| self.bag_sets[b].contains(v))
-                .collect();
-            if holding.len() <= 1 {
+        let k = self.bags.len();
+        for v in 0..n {
+            let hold = BitSet::from_iter_with_capacity(
+                k,
+                (0..k).filter(|&b| self.bag_sets[b].contains(v)),
+            );
+            let holding = hold.len();
+            if holding <= 1 {
                 continue;
             }
             // BFS within holding bags via tree edges.
-            let hold: std::collections::HashSet<usize> = holding.iter().copied().collect();
-            let mut reached = std::collections::HashSet::new();
-            let mut stack = vec![holding[0]];
-            reached.insert(holding[0]);
+            let first = hold.iter().next().expect("holding >= 2");
+            let mut reached = BitSet::new(k);
+            reached.insert(first);
+            let mut stack = vec![first];
             while let Some(b) = stack.pop() {
                 let mut nbrs: Vec<usize> = self.children[b].clone();
                 if let Some(p) = self.parent[b] {
                     nbrs.push(p);
                 }
                 for c in nbrs {
-                    if hold.contains(&c) && reached.insert(c) {
+                    if hold.contains(c) && reached.insert(c) {
                         stack.push(c);
                     }
                 }
             }
-            if reached.len() != holding.len() {
+            if reached.len() != holding {
                 return false;
             }
-            continue 'vertex;
         }
         true
     }

@@ -127,17 +127,7 @@ impl GraphBuilder {
 
     /// Finishes construction.
     pub fn build(self) -> Graph {
-        let adj: Vec<Vec<u32>> = self
-            .rows
-            .iter()
-            .map(|row| row.iter().map(|v| v as u32).collect())
-            .collect();
-        let edge_count = adj.iter().map(Vec::len).sum::<usize>() / 2;
-        Graph {
-            adj,
-            rows: self.rows,
-            edge_count,
-        }
+        Graph::from_bit_rows(self.rows)
     }
 }
 
@@ -164,6 +154,54 @@ pub struct Graph {
 }
 
 impl Graph {
+    /// Builds a graph directly from per-vertex adjacency bit rows,
+    /// taking their **symmetric closure**: an edge exists when either
+    /// endpoint's row names the other. Self-loops are dropped.
+    ///
+    /// This is the fast path for interference construction: callers
+    /// union whole live sets into a definition's row with word-level
+    /// [`BitSet::union_with`] — O(n/64) per definition instead of one
+    /// `add_edge` call per live value — and this constructor mirrors
+    /// the edges and derives the sorted adjacency vectors in one final
+    /// O(V + E) pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's capacity differs from the number of rows.
+    pub fn from_bit_rows(mut rows: Vec<BitSet>) -> Self {
+        let n = rows.len();
+        for (v, row) in rows.iter_mut().enumerate() {
+            assert_eq!(
+                row.capacity(),
+                n,
+                "row {v} capacity must equal the vertex count {n}"
+            );
+            row.remove(v);
+        }
+        // Mirror the edges recorded in one direction only.
+        let mut missing: Vec<(usize, usize)> = Vec::new();
+        for u in 0..n {
+            for v in rows[u].iter() {
+                if !rows[v].contains(u) {
+                    missing.push((v, u));
+                }
+            }
+        }
+        for (v, u) in missing {
+            rows[v].insert(u);
+        }
+        let adj: Vec<Vec<u32>> = rows
+            .iter()
+            .map(|row| row.iter().map(|v| v as u32).collect())
+            .collect();
+        let edge_count = adj.iter().map(Vec::len).sum::<usize>() / 2;
+        Graph {
+            adj,
+            rows,
+            edge_count,
+        }
+    }
+
     /// Creates a graph on `n` vertices from an edge list.
     pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
         let mut b = GraphBuilder::new(n);
@@ -344,6 +382,43 @@ mod tests {
         // Edges among {1,2,3}: (1,2),(2,3),(1,3) -> triangle.
         assert_eq!(sub.edge_count(), 3);
         assert!(sub.is_clique(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn from_bit_rows_symmetrizes_and_drops_self_loops() {
+        // Rows recorded in one direction only (as interference
+        // construction produces them), plus a self-loop.
+        let mut rows = vec![BitSet::new(4); 4];
+        rows[0].insert(0); // self-loop, dropped
+        rows[0].insert(1);
+        rows[0].insert(3);
+        rows[2].insert(1);
+        let g = Graph::from_bit_rows(rows);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(1, 0) && g.has_edge(0, 1));
+        assert!(g.has_edge(3, 0));
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 0));
+        // Sorted adjacency derived consistently with the rows.
+        assert_eq!(g.neighbor_indices(1), &[0, 2]);
+        assert_eq!(g.neighbor_row(1).iter().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn from_bit_rows_matches_builder_output() {
+        let edges = [(0usize, 1usize), (1, 2), (2, 3), (0, 3), (1, 3)];
+        let via_builder = Graph::from_edges(5, &edges);
+        let mut rows = vec![BitSet::new(5); 5];
+        for &(u, v) in &edges {
+            rows[u].insert(v); // one direction only
+        }
+        assert_eq!(Graph::from_bit_rows(rows), via_builder);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must equal the vertex count")]
+    fn from_bit_rows_rejects_mismatched_rows() {
+        let _ = Graph::from_bit_rows(vec![BitSet::new(3), BitSet::new(3)]);
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! * dominator trees (Cooper–Harvey–Kennedy) ([`dom`]),
 //! * natural-loop detection and block frequency estimation ([`loops`]),
 //! * backward liveness analysis with SSA φ semantics, per-point register
-//!   pressure and `MaxLive` ([`liveness`]),
+//!   pressure and `MaxLive` — worklist-solved, with an incremental
+//!   re-analysis entry point for spill rounds ([`liveness`]),
+//! * the shared per-round analysis bundle threaded through the
+//!   allocation pipeline ([`analysis`]),
 //! * interference-graph construction — **chordal** for strict-SSA
 //!   functions, general for non-SSA functions — plus linearised live
 //!   intervals as used by linear-scan allocators ([`interference`]),
@@ -45,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod builder;
 pub mod cfg;
 pub mod dom;
@@ -58,4 +62,5 @@ pub mod spill_cost;
 pub mod split;
 pub mod ssa;
 
+pub use analysis::FunctionAnalysis;
 pub use cfg::{Block, BlockId, Function, Instr, Opcode, Value};

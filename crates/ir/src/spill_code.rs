@@ -22,12 +22,68 @@ pub struct SpillStats {
     pub loads: usize,
 }
 
+/// What a spill rewrite touched, in terms the incremental re-analysis
+/// ([`crate::liveness::analyze_incremental`]) consumes.
+#[derive(Clone, Debug)]
+pub struct SpillDelta {
+    /// Blocks whose instruction list differs from the input function
+    /// (a use was remapped, or a load/store was inserted). Capacity =
+    /// block count.
+    pub dirty_blocks: BitSet,
+    /// Values whose live ranges may have changed: the spilled originals
+    /// plus every freshly inserted reload. Every occurrence of a
+    /// changed value sits inside a dirty block. Capacity = the
+    /// **rewritten** function's `value_count`.
+    pub changed_values: BitSet,
+}
+
+impl SpillDelta {
+    fn new(f: &Function, spilled: &BitSet, new_value_count: u32, dirty_blocks: BitSet) -> Self {
+        let changed_values = BitSet::from_iter_with_capacity(
+            new_value_count as usize,
+            spilled
+                .iter()
+                .chain(f.value_count as usize..new_value_count as usize),
+        );
+        SpillDelta {
+            dirty_blocks,
+            changed_values,
+        }
+    }
+}
+
+/// The full result of a spill rewrite: the function, the insertion
+/// statistics, the loads saved by reload sharing (0 on the plain
+/// path), and the [`SpillDelta`] feeding incremental re-analysis.
+#[derive(Clone, Debug)]
+pub struct SpillRewrite {
+    /// The rewritten function.
+    pub function: Function,
+    /// Stores/loads inserted.
+    pub stats: SpillStats,
+    /// Reloads saved relative to plain spill-everywhere (the §2.1
+    /// load-store optimisation); always 0 for [`rewrite_spill_code`].
+    pub saved_loads: usize,
+    /// Which blocks and values the rewrite touched.
+    pub delta: SpillDelta,
+}
+
 /// Rewrites `f`, spilling every value in `spilled`.
 ///
 /// Returns the rewritten function and insertion statistics. The
 /// rewritten function is in SSA form again if `f` was (each reload is a
-/// fresh value used exactly once).
+/// fresh value used exactly once). Convenience wrapper around
+/// [`rewrite_spill_code`] for callers that do not need the
+/// [`SpillDelta`].
 pub fn insert_spill_code(f: &Function, spilled: &BitSet) -> (Function, SpillStats) {
+    let r = rewrite_spill_code(f, spilled);
+    (r.function, r.stats)
+}
+
+/// Rewrites `f`, spilling every value in `spilled`, and reports which
+/// blocks and values were touched so the next analysis round can be
+/// incremental.
+pub fn rewrite_spill_code(f: &Function, spilled: &BitSet) -> SpillRewrite {
     let mut next_value = f.value_count;
     let mut stats = SpillStats::default();
     let mut fresh = || {
@@ -41,6 +97,7 @@ pub fn insert_spill_code(f: &Function, spilled: &BitSet) -> (Function, SpillStat
     let n = f.block_count();
     let mut new_instrs: Vec<Vec<Instr>> = vec![Vec::new(); n];
     let mut pred_tail: Vec<Vec<Instr>> = vec![Vec::new(); n]; // reloads at block end
+    let mut dirty = BitSet::new(n);
 
     for b in 0..n {
         // Stores for spilled φ defs must wait until after the whole φ
@@ -57,6 +114,8 @@ pub fn insert_spill_code(f: &Function, spilled: &BitSet) -> (Function, SpillStat
                         let p = f.blocks[b].preds[i];
                         pred_tail[p.index()].push(Instr::new(Opcode::Load, Some(r), vec![]));
                         *u = r;
+                        dirty.insert(b);
+                        dirty.insert(p.index());
                     }
                 }
             } else {
@@ -67,6 +126,7 @@ pub fn insert_spill_code(f: &Function, spilled: &BitSet) -> (Function, SpillStat
                         stats.loads += 1;
                         new_instrs[b].push(Instr::new(Opcode::Load, Some(r), vec![]));
                         *u = r;
+                        dirty.insert(b);
                     }
                 }
             }
@@ -75,6 +135,7 @@ pub fn insert_spill_code(f: &Function, spilled: &BitSet) -> (Function, SpillStat
             new_instrs[b].push(instr);
             if def_spilled {
                 stats.stores += 1;
+                dirty.insert(b);
                 let store = Instr::new(Opcode::Store, None, vec![def.expect("spilled def")]);
                 if is_phi {
                     phi_stores.push(store);
@@ -107,7 +168,12 @@ pub fn insert_spill_code(f: &Function, spilled: &BitSet) -> (Function, SpillStat
     };
     out.recompute_preds();
     debug_assert_eq!(out.validate(), Ok(()));
-    (out, stats)
+    SpillRewrite {
+        stats,
+        saved_loads: 0,
+        delta: SpillDelta::new(f, spilled, next_value, dirty),
+        function: out,
+    }
 }
 
 /// Convenience: spills `spilled` and reports the new `MaxLive`.
@@ -124,10 +190,20 @@ pub fn max_live_after_spilling(f: &Function, spilled: &BitSet) -> usize {
 ///
 /// Returns the rewritten function, the insertion statistics, and the
 /// number of loads saved relative to plain spill-everywhere.
+/// Convenience wrapper around [`rewrite_spill_code_optimized`] for
+/// callers that do not need the [`SpillDelta`].
 pub fn insert_spill_code_optimized(
     f: &Function,
     spilled: &BitSet,
 ) -> (Function, SpillStats, usize) {
+    let r = rewrite_spill_code_optimized(f, spilled);
+    (r.function, r.stats, r.saved_loads)
+}
+
+/// [`rewrite_spill_code`] with the §2.1 shared-reload optimisation,
+/// reporting the touched blocks and values for incremental
+/// re-analysis.
+pub fn rewrite_spill_code_optimized(f: &Function, spilled: &BitSet) -> SpillRewrite {
     let mut next_value = f.value_count;
     let mut stats = SpillStats::default();
     let mut saved = 0usize;
@@ -140,6 +216,7 @@ pub fn insert_spill_code_optimized(
     let n = f.block_count();
     let mut new_instrs: Vec<Vec<Instr>> = vec![Vec::new(); n];
     let mut pred_tail: Vec<Vec<Instr>> = vec![Vec::new(); n];
+    let mut dirty = BitSet::new(n);
 
     for b in 0..n {
         // spilled value -> reload already materialised in this block.
@@ -158,12 +235,15 @@ pub fn insert_spill_code_optimized(
                         let p = f.blocks[b].preds[i];
                         pred_tail[p.index()].push(Instr::new(Opcode::Load, Some(r), vec![]));
                         *u = r;
+                        dirty.insert(b);
+                        dirty.insert(p.index());
                     }
                 }
             } else {
                 new_instrs[b].append(&mut phi_stores);
                 for u in instr.uses.iter_mut() {
                     if spilled.contains(u.index()) {
+                        dirty.insert(b);
                         match reload_of.get(u) {
                             Some(&r) => {
                                 saved += 1;
@@ -190,6 +270,7 @@ pub fn insert_spill_code_optimized(
             new_instrs[b].push(instr);
             if def_spilled {
                 stats.stores += 1;
+                dirty.insert(b);
                 let store = Instr::new(Opcode::Store, None, vec![def.expect("spilled def")]);
                 if is_phi {
                     phi_stores.push(store);
@@ -221,7 +302,12 @@ pub fn insert_spill_code_optimized(
     };
     out.recompute_preds();
     debug_assert_eq!(out.validate(), Ok(()));
-    (out, stats, saved)
+    SpillRewrite {
+        stats,
+        saved_loads: saved,
+        delta: SpillDelta::new(f, spilled, next_value, dirty),
+        function: out,
+    }
 }
 
 #[cfg(test)]
@@ -373,6 +459,98 @@ mod tests {
         assert_eq!(opt.stores, plain.stores);
         assert_eq!(opt.loads + saved, plain.loads);
         assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn delta_reports_dirty_blocks_and_changed_values() {
+        // Diamond with a φ: spilling a φ use dirties the join block
+        // (the φ's use list changed) AND the predecessor that received
+        // the tail reload — and nothing else.
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry_block();
+        let l = b.block();
+        let r = b.block();
+        let j = b.block();
+        b.set_succs(e, &[l, r]);
+        b.set_succs(l, &[j]);
+        b.set_succs(r, &[j]);
+        let xl = b.op(l, &[]);
+        let xr = b.op(r, &[]);
+        let m = b.phi(j, &[xl, xr]);
+        b.op(j, &[m]);
+        let f = b.finish();
+        let spilled = BitSet::from_iter_with_capacity(f.value_count as usize, [xl.index()]);
+        let rw = rewrite_spill_code(&f, &spilled);
+        let dirty: Vec<usize> = rw.delta.dirty_blocks.iter().collect();
+        assert_eq!(dirty, vec![l.index(), j.index()]);
+        // Changed values: the spilled original plus the one reload.
+        assert_eq!(rw.function.value_count, f.value_count + 1);
+        assert_eq!(
+            rw.delta.changed_values.iter().collect::<Vec<_>>(),
+            vec![xl.index(), f.value_count as usize]
+        );
+        assert_eq!(
+            rw.delta.changed_values.capacity(),
+            rw.function.value_count as usize
+        );
+    }
+
+    #[test]
+    fn delta_every_changed_value_occurrence_is_in_a_dirty_block() {
+        // The contract analyze_incremental relies on, checked over
+        // random functions and spill sets for both rewrite flavours.
+        use crate::genprog::{random_jit_function, JitConfig};
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        for optimized in [false, true] {
+            let f = random_jit_function(&mut rng, &JitConfig::default(), "f");
+            let spilled = BitSet::from_iter_with_capacity(
+                f.value_count as usize,
+                (0..f.value_count as usize).filter(|v| v % 3 == 0),
+            );
+            let rw = if optimized {
+                rewrite_spill_code_optimized(&f, &spilled)
+            } else {
+                rewrite_spill_code(&f, &spilled)
+            };
+            for (b, blk) in rw.function.blocks.iter().enumerate() {
+                if rw.delta.dirty_blocks.contains(b) {
+                    continue;
+                }
+                // Clean block: instruction list byte-identical, no
+                // occurrence of any changed value.
+                assert_eq!(blk.instrs, f.blocks[b].instrs, "block {b} silently changed");
+                for instr in &blk.instrs {
+                    for v in instr.def.iter().chain(instr.uses.iter()) {
+                        assert!(
+                            !rw.delta.changed_values.contains(v.index()),
+                            "changed value {v} in clean block {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wrappers_match_the_delta_reporting_path() {
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry_block();
+        let x = b.op(e, &[]);
+        b.op(e, &[x]);
+        b.op(e, &[x]);
+        let f = b.finish();
+        let spilled = BitSet::from_iter_with_capacity(f.value_count as usize, [x.index()]);
+        let (g1, s1) = insert_spill_code(&f, &spilled);
+        let rw = rewrite_spill_code(&f, &spilled);
+        assert_eq!(g1, rw.function);
+        assert_eq!(s1, rw.stats);
+        assert_eq!(rw.saved_loads, 0);
+        let (g2, s2, saved) = insert_spill_code_optimized(&f, &spilled);
+        let rwo = rewrite_spill_code_optimized(&f, &spilled);
+        assert_eq!(g2, rwo.function);
+        assert_eq!(s2, rwo.stats);
+        assert_eq!(saved, rwo.saved_loads);
     }
 
     #[test]
