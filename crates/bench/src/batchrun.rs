@@ -56,6 +56,19 @@ pub fn standard_portfolio_config() -> PortfolioConfig {
     PortfolioConfig::default().node_budget(50_000)
 }
 
+/// The pipeline the `jit-large` batch corpus runs — and the one the
+/// `serve` CLI subcommand hosts, so a `loadgen` dump over TCP is
+/// byte-comparable to the in-tree `jit-large/Portfolio/R6` batch
+/// experiment: ARM JIT target, precise graphs, R = 6, 4 rounds, the
+/// standard fuel-only portfolio.
+pub fn jit_large_pipeline() -> AllocationPipeline {
+    AllocationPipeline::new(Target::new(TargetKind::ArmCortexA8))
+        .instance_kind(InstanceKind::PreciseGraph)
+        .registers(6)
+        .max_rounds(4)
+        .portfolio(standard_portfolio_config())
+}
+
 /// The corpora behind `lra-bench -- batch` and `-- record`: the
 /// random lao-kernels SSA suite under `BFPL` (interval view, R = 4),
 /// the SPEC JVM98 JIT methods under `LH` (precise non-chordal graphs,
@@ -230,14 +243,123 @@ pub fn record(seed: u64, thread_counts: &[usize], reps: usize) -> Vec<RecordedEx
         .collect()
 }
 
-/// Serialises recorded experiments as the `BENCH_batch.json` document
-/// (hand-rolled: the build environment has no serde).
-pub fn to_json(seed: u64, experiments: &[RecordedExperiment]) -> String {
+/// One worker count's service-throughput measurement in the recorded
+/// baseline: the jit-large corpus pushed through a live
+/// [`lra_service::AllocationService`] twice — cache-cold, then
+/// cache-warm — under backpressure (queue capacity below the corpus
+/// size).
+#[derive(Clone, Debug)]
+pub struct RecordedServiceRun {
+    /// Worker-pool size of this run.
+    pub workers: usize,
+    /// Requests per pass (the corpus size).
+    pub requests: usize,
+    /// Wall-clock of the cache-cold pass, in milliseconds.
+    pub cold_ms: f64,
+    /// Wall-clock of the cache-warm pass, in milliseconds.
+    pub warm_ms: f64,
+    /// Functions served per second, cache-cold.
+    pub throughput_cold: f64,
+    /// Functions served per second, cache-warm.
+    pub throughput_warm: f64,
+    /// Median service time over both passes, in microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile service time over both passes, in microseconds.
+    pub p95_us: u64,
+    /// Cache hit rate over both passes (the warm pass should push
+    /// this toward 0.5).
+    pub cache_hit_rate: f64,
+    /// Most requests ever queued at once.
+    pub queue_high_water: usize,
+}
+
+/// Queue capacity the service-throughput experiment runs under —
+/// deliberately below the 27-function jit-large corpus so the
+/// recorded numbers include real backpressure cycles.
+pub const SERVICE_RECORD_QUEUE_CAPACITY: usize = 8;
+
+/// Measures service throughput over the jit-large corpus at each of
+/// `worker_counts`: for every count a fresh
+/// [`lra_service::AllocationService`]
+/// (shared process-wide result cache **cleared first**) serves the
+/// corpus twice — cold then warm — and both passes are checked
+/// byte-identical to the sequential [`BatchAllocator`] reference.
+///
+/// # Panics
+///
+/// Panics if any service pass renders differently from the batch
+/// reference — the baseline must never persist numbers from a run
+/// that broke the identity contract.
+pub fn record_service(seed: u64, worker_counts: &[usize]) -> Vec<RecordedServiceRun> {
+    use lra_core::batch::render_rows;
+    use lra_core::portfolio::portfolio_cache;
+    use lra_service::{AllocationService, ServiceConfig};
+
+    let functions = suites::jit_large_functions(seed);
+    let reference = BatchAllocator::new(jit_large_pipeline())
+        .threads(1)
+        .run(&functions)
+        .render();
+    worker_counts
+        .iter()
+        .map(|&workers| {
+            portfolio_cache().clear();
+            let service = AllocationService::start(
+                ServiceConfig::new(jit_large_pipeline())
+                    .workers(workers)
+                    .queue_capacity(SERVICE_RECORD_QUEUE_CAPACITY),
+            );
+            let pass = |label: &str| {
+                let t0 = std::time::Instant::now();
+                let items = service.run_all(&functions);
+                let elapsed = t0.elapsed();
+                let rows: Vec<_> = items.iter().map(lra_core::batch::BatchItem::row).collect();
+                assert_eq!(
+                    render_rows(&rows),
+                    reference,
+                    "{workers}-worker service ({label}) diverged from the batch reference"
+                );
+                elapsed
+            };
+            let cold = pass("cold");
+            let warm = pass("warm");
+            let metrics = service.shutdown();
+            let per_sec = |d: Duration| {
+                if d.as_secs_f64() > 0.0 {
+                    functions.len() as f64 / d.as_secs_f64()
+                } else {
+                    0.0
+                }
+            };
+            RecordedServiceRun {
+                workers,
+                requests: functions.len(),
+                cold_ms: cold.as_secs_f64() * 1e3,
+                warm_ms: warm.as_secs_f64() * 1e3,
+                throughput_cold: per_sec(cold),
+                throughput_warm: per_sec(warm),
+                p50_us: metrics.p50.as_micros() as u64,
+                p95_us: metrics.p95.as_micros() as u64,
+                cache_hit_rate: metrics.cache_hit_rate(),
+                queue_high_water: metrics.queue_high_water,
+            }
+        })
+        .collect()
+}
+
+/// Serialises recorded experiments (plus the service-throughput runs)
+/// as the `BENCH_batch.json` document (hand-rolled: the build
+/// environment has no serde).
+pub fn to_json(
+    seed: u64,
+    experiments: &[RecordedExperiment],
+    service: &[RecordedServiceRun],
+) -> String {
     use std::fmt::Write as _;
     let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"lra-bench/batch-v1\",");
+    let _ = writeln!(s, "  \"schema\": \"lra-bench/batch-v2\",");
     let _ = writeln!(s, "  \"seed\": {seed},");
     s.push_str("  \"experiments\": [\n");
     for (i, e) in experiments.iter().enumerate() {
@@ -273,6 +395,26 @@ pub fn to_json(seed: u64, experiments: &[RecordedExperiment]) -> String {
         } else {
             "    }\n"
         });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"service\": [\n");
+    for (i, r) in service.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"workers\": {}, \"requests\": {}, \"queue_capacity\": {}, \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"throughput_cold_per_s\": {:.1}, \"throughput_warm_per_s\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"cache_hit_rate\": {:.3}, \"queue_high_water\": {}}}",
+            r.workers,
+            r.requests,
+            SERVICE_RECORD_QUEUE_CAPACITY,
+            r.cold_ms,
+            r.warm_ms,
+            r.throughput_cold,
+            r.throughput_warm,
+            r.p50_us,
+            r.p95_us,
+            r.cache_hit_rate,
+            r.queue_high_water
+        );
+        s.push_str(if i + 1 < service.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ]\n}\n");
     s
@@ -318,8 +460,8 @@ mod tests {
             assert!(e.functions > 0);
         }
 
-        let json = to_json(3, &recorded);
-        assert!(json.contains("\"schema\": \"lra-bench/batch-v1\""));
+        let json = to_json(3, &recorded, &[]);
+        assert!(json.contains("\"schema\": \"lra-bench/batch-v2\""));
         assert!(json.contains("\"threads\": 1"));
         assert!(json.contains("\"threads\": 2"));
         // Balanced braces/brackets — cheap structural sanity check.
@@ -346,8 +488,47 @@ mod tests {
                 samples: 1,
             }],
         };
-        let json = to_json(0, &[rec]);
+        let json = to_json(0, &[rec], &[]);
         assert!(json.contains("odd\\\"name\\\\here"));
+    }
+
+    #[test]
+    fn jit_large_pipeline_matches_the_batch_experiment() {
+        // The serve subcommand and the batch corpus must run the
+        // exact same pipeline or the loadgen-vs-batch diff is
+        // comparing different problems. AllocationPipeline has no
+        // PartialEq; the debug rendering covers every knob.
+        let exps = standard_experiments(3);
+        let jit = exps
+            .iter()
+            .find(|e| e.name.starts_with("jit-large"))
+            .unwrap();
+        assert_eq!(
+            format!("{:?}", jit.pipeline),
+            format!("{:?}", jit_large_pipeline())
+        );
+    }
+
+    #[test]
+    fn record_service_produces_consistent_numbers_and_json() {
+        let runs = record_service(3, &[2]);
+        assert_eq!(runs.len(), 1);
+        let r = &runs[0];
+        assert_eq!(r.workers, 2);
+        assert_eq!(r.requests, 27);
+        assert!(r.cold_ms > 0.0 && r.warm_ms > 0.0);
+        assert!(r.throughput_cold > 0.0 && r.throughput_warm > 0.0);
+        assert!(r.p95_us >= r.p50_us);
+        assert!(
+            r.cache_hit_rate > 0.0,
+            "the warm pass must hit the shared cache"
+        );
+        assert!(r.queue_high_water <= SERVICE_RECORD_QUEUE_CAPACITY);
+        let json = to_json(3, &[], &runs);
+        assert!(json.contains("\"service\": ["));
+        assert!(json.contains("\"workers\": 2"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

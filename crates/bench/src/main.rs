@@ -27,9 +27,81 @@ use std::io::Write as _;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lra-bench <fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablation|inclusion|bls-sweep|split|ssa|stats|pipeline|batch|portfolio|record|all> [--seed N] [--threads N] [--out PATH] [--policy NAME] [--budget-nodes N] [--budget-ms N]"
+        "usage: lra-bench <fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablation|inclusion|bls-sweep|split|ssa|stats|pipeline|batch|portfolio|serve|loadgen|record|all> [--seed N] [--threads N] [--out PATH] [--policy NAME] [--budget-nodes N] [--budget-ms N] [--addr HOST:PORT] [--queue N] [--repeat N] [--local] [--shutdown]"
     );
     std::process::exit(2)
+}
+
+/// `serve`: host the jit-large pipeline behind the TCP front end until
+/// a client sends the `shutdown` op. Deterministic allocation output
+/// is the client's concern; everything this prints goes to stderr.
+fn run_serve(addr: &str, workers: usize, queue: usize) {
+    use lra_service::ServiceConfig;
+    // workers == 0 means "resolve the default" — the service does
+    // that itself.
+    let cfg = ServiceConfig::new(lra_bench::batchrun::jit_large_pipeline())
+        .workers(workers)
+        .queue_capacity(queue);
+    let server = lra_service::serve(addr, cfg).unwrap_or_else(|e| {
+        eprintln!("serve: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "lra-service listening on {} (queue capacity {queue})",
+        server.local_addr()
+    );
+    let metrics = server.wait();
+    eprintln!("lra-service drained: {}", metrics.render());
+}
+
+/// `loadgen`: push the jit-large corpus through a running server
+/// `repeat` times and print each pass's deterministic report to
+/// stdout (timings and server stats go to stderr). `--local` skips
+/// the network and prints the [`lra_core::batch::BatchAllocator`]
+/// reference dump instead — CI diffs the two for byte-identity.
+/// `--shutdown` asks the server to drain and exit afterwards.
+fn run_loadgen(addr: &str, seed: u64, repeat: usize, local: bool, send_shutdown: bool) {
+    let functions = lra_bench::suites::jit_large_functions(seed);
+    if local {
+        let batch = lra_core::batch::BatchAllocator::new(lra_bench::batchrun::jit_large_pipeline())
+            .threads(1);
+        for _ in 0..repeat.max(1) {
+            print!("{}", batch.run(&functions).render());
+            println!();
+        }
+        return;
+    }
+    let mut client =
+        lra_service::Client::connect_retry(addr, 100, std::time::Duration::from_millis(100))
+            .unwrap_or_else(|e| {
+                eprintln!("loadgen: cannot connect to {addr}: {e}");
+                std::process::exit(1);
+            });
+    for pass in 0..repeat.max(1) {
+        let result = client.allocate_all(&functions).unwrap_or_else(|e| {
+            eprintln!("loadgen: pass {pass} failed: {e}");
+            std::process::exit(1);
+        });
+        print!("{}", result.render());
+        println!();
+        eprintln!(
+            "(pass {pass}: {} functions in {:.1} ms, {:.1}/s, {} backpressure retries)",
+            result.rows.len(),
+            result.elapsed.as_secs_f64() * 1e3,
+            result.throughput(),
+            result.retries
+        );
+    }
+    if let Ok(stats) = client.stats() {
+        let fields: Vec<String> = stats.iter().map(|(k, v)| format!("{k}={v:?}")).collect();
+        eprintln!("(server stats: {})", fields.join(" "));
+    }
+    if send_shutdown {
+        if let Err(e) = client.shutdown() {
+            eprintln!("loadgen: shutdown request failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// `batch`: fan the standard corpora (lao-kernels + SPEC JVM98 +
@@ -94,8 +166,8 @@ fn run_portfolio(seed: u64, budget_nodes: Option<u64>, budget_ms: Option<u64>) {
 }
 
 /// `record`: re-run the standard corpora at several worker counts and
-/// persist the median wall-clock baselines (plus spill aggregates) as
-/// `BENCH_batch.json`.
+/// persist the median wall-clock baselines (plus spill aggregates and
+/// the service-throughput runs) as `BENCH_batch.json`.
 fn run_record(seed: u64, out: &str) {
     let available = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut thread_counts = vec![1usize, 2];
@@ -103,7 +175,14 @@ fn run_record(seed: u64, out: &str) {
         thread_counts.push(4);
     }
     let recorded = lra_bench::batchrun::record(seed, &thread_counts, 3);
-    let json = lra_bench::batchrun::to_json(seed, &recorded);
+    let service = lra_bench::batchrun::record_service(seed, &[1, 2]);
+    for r in &service {
+        eprintln!(
+            "service jit-large: {} workers -> cold {:.1} ms ({:.1}/s), warm {:.1} ms ({:.1}/s), hit rate {:.2}",
+            r.workers, r.cold_ms, r.throughput_cold, r.warm_ms, r.throughput_warm, r.cache_hit_rate
+        );
+    }
+    let json = lra_bench::batchrun::to_json(seed, &recorded, &service);
     std::fs::write(out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     for e in &recorded {
         let base = e.timings.first().map_or(0.0, |t| t.median_ms);
@@ -196,6 +275,11 @@ fn main() {
     let mut policy: Option<String> = None;
     let mut budget_nodes: Option<u64> = None;
     let mut budget_ms: Option<u64> = None;
+    let mut addr = "127.0.0.1:7411".to_string();
+    let mut queue = lra_service::DEFAULT_QUEUE_CAPACITY;
+    let mut repeat = 1usize;
+    let mut local = false;
+    let mut send_shutdown = false;
     let mut which = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -232,6 +316,25 @@ fn main() {
                         .unwrap_or_else(|| usage()),
                 );
             }
+            "--addr" => {
+                addr = it.next().cloned().unwrap_or_else(|| usage());
+            }
+            "--queue" => {
+                queue = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--repeat" => {
+                repeat = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--local" => local = true,
+            "--shutdown" => send_shutdown = true,
             "all" => which.extend([
                 "fig8",
                 "fig9",
@@ -268,6 +371,8 @@ fn main() {
             "pipeline" => which.push("pipeline"),
             "batch" => which.push("batch"),
             "portfolio" => which.push("portfolio"),
+            "serve" => which.push("serve"),
+            "loadgen" => which.push("loadgen"),
             "record" => which.push("record"),
             _ => usage(),
         }
@@ -440,6 +545,8 @@ fn main() {
             "pipeline" => run_pipeline_demo(seed),
             "batch" => run_batch(seed, threads, policy.as_deref()),
             "portfolio" => run_portfolio(seed, budget_nodes, budget_ms),
+            "serve" => run_serve(&addr, threads, queue),
+            "loadgen" => run_loadgen(&addr, seed, repeat, local, send_shutdown),
             "record" => run_record(seed, &out),
             "stats" => {
                 for (title, suite) in [

@@ -202,17 +202,7 @@ impl BatchAllocator {
     pub fn run_refs(&self, functions: &[&Function]) -> BatchReport {
         let threads = self.effective_threads(functions.len());
         let start = Instant::now();
-        let items = parallel_map(functions, threads, |_, f| {
-            let t0 = Instant::now();
-            let outcome =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.pipeline.run(f)))
-                    .unwrap_or_else(|payload| Err(PipelineError::Panic(panic_message(&payload))));
-            BatchItem {
-                function: f.name.clone(),
-                outcome,
-                elapsed: t0.elapsed(),
-            }
-        });
+        let items = parallel_map(functions, threads, |_, f| allocate_item(&self.pipeline, f));
         let elapsed = start.elapsed();
         let summary = BatchSummary::from_items(&items);
         BatchReport {
@@ -221,6 +211,23 @@ impl BatchAllocator {
             elapsed,
             summary,
         }
+    }
+}
+
+/// Runs `pipeline` on one function exactly the way a batch worker
+/// does: wall-clock timed, with a panicking run caught and recorded as
+/// the item's [`PipelineError::Panic`]. This is the per-item engine
+/// behind [`BatchAllocator::run_refs`], exported so long-lived drivers
+/// (the `lra-service` worker pool) produce items byte-compatible with
+/// a batch run.
+pub fn allocate_item(pipeline: &AllocationPipeline, f: &Function) -> BatchItem {
+    let t0 = Instant::now();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pipeline.run(f)))
+        .unwrap_or_else(|payload| Err(PipelineError::Panic(panic_message(&payload))));
+    BatchItem {
+        function: f.name.clone(),
+        outcome,
+        elapsed: t0.elapsed(),
     }
 }
 
@@ -256,6 +263,110 @@ impl BatchItem {
     pub fn report(&self) -> Option<&AllocatedFunction> {
         self.outcome.as_ref().ok()
     }
+
+    /// Collapses this item to the report row it renders as. Rows carry
+    /// only the rendered columns (no IR, no assignment), so they are
+    /// what crosses the wire in the `lra-service` protocol — and
+    /// [`render_rows`] over them is byte-identical to
+    /// [`BatchReport::render`] over the originals.
+    pub fn row(&self) -> ReportRow {
+        ReportRow {
+            function: self.function.clone(),
+            outcome: match &self.outcome {
+                Ok(r) => Ok(RowStats {
+                    spill_cost: r.spill_cost,
+                    rounds: r.rounds,
+                    stores: r.stores,
+                    loads: r.loads,
+                    converged: r.converged,
+                    verified: r.verdict.is_feasible(),
+                }),
+                Err(e) => Err(e.to_string()),
+            },
+        }
+    }
+}
+
+/// The rendered columns of one successful report row — everything
+/// [`render_rows`] prints for an allocated function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowStats {
+    /// Total spill cost over all rounds.
+    pub spill_cost: u64,
+    /// Allocation rounds executed.
+    pub rounds: u32,
+    /// Spill stores inserted.
+    pub stores: usize,
+    /// Spill reloads inserted.
+    pub loads: usize,
+    /// Whether the final round spilled nothing.
+    pub converged: bool,
+    /// Whether the final allocation verified feasible.
+    pub verified: bool,
+}
+
+/// One report row: a function name plus its stats or error message.
+/// The wire-transportable projection of a [`BatchItem`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReportRow {
+    /// The function's name.
+    pub function: String,
+    /// Rendered stats, or the per-item error message.
+    pub outcome: Result<RowStats, String>,
+}
+
+/// Renders report rows exactly as [`BatchReport::render`] renders the
+/// corresponding items: the aligned per-row table followed by the
+/// [`BatchSummary`] lines recomputed from the rows. Shared by the
+/// batch driver and the service load generator so "byte-identical to a
+/// batch run" is a property of the code path, not a convention.
+pub fn render_rows(rows: &[ReportRow]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:>5} {:<28} {:>11} {:>7} {:>7} {:>7} {:>10} {:>9}",
+        "#", "function", "spill cost", "rounds", "stores", "loads", "converged", "verified"
+    );
+    for (index, row) in rows.iter().enumerate() {
+        match &row.outcome {
+            Ok(r) => {
+                let _ = writeln!(
+                    s,
+                    "{:>5} {:<28} {:>11} {:>7} {:>7} {:>7} {:>10} {:>9}",
+                    index,
+                    row.function,
+                    r.spill_cost,
+                    r.rounds,
+                    r.stores,
+                    r.loads,
+                    r.converged,
+                    r.verified
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(s, "{:>5} {:<28} error: {e}", index, row.function);
+            }
+        }
+    }
+    let m = BatchSummary::from_rows(rows);
+    let _ = writeln!(
+        s,
+        "functions {} | ok {} | failed {} | converged {} | non-converged {}",
+        m.functions, m.succeeded, m.failed, m.converged, m.non_converged
+    );
+    let _ = writeln!(
+        s,
+        "total spill cost {} (stores {}, loads {})",
+        m.total_spill_cost, m.total_stores, m.total_loads
+    );
+    if let Some([min, q1, med, q3, max]) = m.spill_cost_quartiles {
+        let _ = writeln!(
+            s,
+            "spill cost per function: min {min} | q1 {q1} | median {med} | q3 {q3} | max {max}"
+        );
+    }
+    s
 }
 
 /// Aggregate statistics over a batch, computed once at the end of
@@ -290,8 +401,15 @@ pub struct BatchSummary {
 
 impl BatchSummary {
     fn from_items(items: &[BatchItem]) -> Self {
+        Self::from_rows(&items.iter().map(BatchItem::row).collect::<Vec<_>>())
+    }
+
+    /// Aggregates report rows — the same statistics [`BatchReport`]
+    /// carries, recomputable from the wire-transported rows on the
+    /// client side of the service protocol.
+    pub fn from_rows(rows: &[ReportRow]) -> Self {
         let mut s = BatchSummary {
-            functions: items.len(),
+            functions: rows.len(),
             succeeded: 0,
             failed: 0,
             converged: 0,
@@ -301,9 +419,9 @@ impl BatchSummary {
             total_loads: 0,
             spill_cost_quartiles: None,
         };
-        let mut costs: Vec<u64> = Vec::with_capacity(items.len());
-        for item in items {
-            match &item.outcome {
+        let mut costs: Vec<u64> = Vec::with_capacity(rows.len());
+        for row in rows {
+            match &row.outcome {
                 Ok(r) => {
                     s.succeeded += 1;
                     if r.converged {
@@ -343,59 +461,21 @@ pub struct BatchReport {
 }
 
 impl BatchReport {
-    /// Renders the report as an aligned text table.
+    /// Renders the report as an aligned text table (via
+    /// [`render_rows`], which service clients reuse on wire-received
+    /// rows).
     ///
     /// The output is **deterministic**: it contains per-item results
     /// and aggregate statistics but neither timings nor the thread
     /// count, so runs at any `--threads` setting are byte-identical —
     /// the property the CI determinism check diffs for.
     pub fn render(&self) -> String {
-        use std::fmt::Write as _;
-        let mut s = String::new();
-        let _ = writeln!(
-            s,
-            "{:>5} {:<28} {:>11} {:>7} {:>7} {:>7} {:>10} {:>9}",
-            "#", "function", "spill cost", "rounds", "stores", "loads", "converged", "verified"
-        );
-        for (index, item) in self.items.iter().enumerate() {
-            match &item.outcome {
-                Ok(r) => {
-                    let _ = writeln!(
-                        s,
-                        "{:>5} {:<28} {:>11} {:>7} {:>7} {:>7} {:>10} {:>9}",
-                        index,
-                        item.function,
-                        r.spill_cost,
-                        r.rounds,
-                        r.stores,
-                        r.loads,
-                        r.converged,
-                        r.verdict.is_feasible()
-                    );
-                }
-                Err(e) => {
-                    let _ = writeln!(s, "{:>5} {:<28} error: {e}", index, item.function);
-                }
-            }
-        }
-        let m = &self.summary;
-        let _ = writeln!(
-            s,
-            "functions {} | ok {} | failed {} | converged {} | non-converged {}",
-            m.functions, m.succeeded, m.failed, m.converged, m.non_converged
-        );
-        let _ = writeln!(
-            s,
-            "total spill cost {} (stores {}, loads {})",
-            m.total_spill_cost, m.total_stores, m.total_loads
-        );
-        if let Some([min, q1, med, q3, max]) = m.spill_cost_quartiles {
-            let _ = writeln!(
-                s,
-                "spill cost per function: min {min} | q1 {q1} | median {med} | q3 {q3} | max {max}"
-            );
-        }
-        s
+        render_rows(&self.items.iter().map(BatchItem::row).collect::<Vec<_>>())
+    }
+
+    /// The wire-transportable projection of every item, in order.
+    pub fn rows(&self) -> Vec<ReportRow> {
+        self.items.iter().map(BatchItem::row).collect()
     }
 }
 
@@ -537,6 +617,23 @@ mod tests {
             Err(PipelineError::Panic(_))
         ));
         assert!(report.render().contains("error: pipeline panicked"));
+    }
+
+    #[test]
+    fn rows_render_byte_identical_to_the_report() {
+        let fs = corpus(5);
+        let report = BatchAllocator::new(pipeline()).run(&fs);
+        assert_eq!(render_rows(&report.rows()), report.render());
+        assert_eq!(BatchSummary::from_rows(&report.rows()), report.summary);
+    }
+
+    #[test]
+    fn allocate_item_matches_a_single_item_batch() {
+        let fs = corpus(1);
+        let p = pipeline();
+        let item = allocate_item(&p, &fs[0]);
+        let batch = BatchAllocator::new(p).run(&fs);
+        assert_eq!(item.row(), batch.items[0].row());
     }
 
     #[test]

@@ -89,8 +89,46 @@ pub struct ResultCache<V> {
 
 struct Inner<V> {
     map: HashMap<InstanceKey, V>,
-    hits: u64,
-    misses: u64,
+    stats: CacheStats,
+}
+
+/// Cumulative [`ResultCache`] counters. Hits and misses survive
+/// clear-on-full evictions (the counters describe the cache's whole
+/// life, not the current generation of entries); `evictions` counts
+/// every entry dropped by a wholesale clear, so a long-running service
+/// can tell "cold cache" from "thrashing cache" in its metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a memoized result.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries dropped by clear-on-full (and explicit
+    /// [`ResultCache::clear`]) since construction.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when nothing was looked
+    /// up yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// The counter deltas since an earlier snapshot (saturating, so a
+    /// stale baseline never underflows).
+    pub fn since(&self, baseline: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(baseline.hits),
+            misses: self.misses.saturating_sub(baseline.misses),
+            evictions: self.evictions.saturating_sub(baseline.evictions),
+        }
+    }
 }
 
 impl<V: Clone> ResultCache<V> {
@@ -104,8 +142,7 @@ impl<V: Clone> ResultCache<V> {
         ResultCache {
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
-                hits: 0,
-                misses: 0,
+                stats: CacheStats::default(),
             }),
             capacity,
         }
@@ -116,11 +153,11 @@ impl<V: Clone> ResultCache<V> {
         let mut inner = self.inner.lock().expect("cache lock");
         match inner.map.get(key).cloned() {
             Some(v) => {
-                inner.hits += 1;
+                inner.stats.hits += 1;
                 Some(v)
             }
             None => {
-                inner.misses += 1;
+                inner.stats.misses += 1;
                 None
             }
         }
@@ -128,13 +165,25 @@ impl<V: Clone> ResultCache<V> {
 
     /// Memoizes `value` under `key`. A full table is cleared wholesale
     /// first (results are exact-keyed, so eviction never affects
-    /// output bytes — only future hit rates).
+    /// output bytes — only future hit rates); the dropped entries are
+    /// added to [`CacheStats::evictions`] while the hit/miss counters
+    /// keep accumulating across the clear.
     pub fn insert(&self, key: InstanceKey, value: V) {
         let mut inner = self.inner.lock().expect("cache lock");
         if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            inner.stats.evictions += inner.map.len() as u64;
             inner.map.clear();
         }
         inner.map.insert(key, value);
+    }
+
+    /// Drops every memoized entry (counted as evictions), keeping the
+    /// hit/miss history. Benchmarks use this to measure a cache-cold
+    /// pass without restarting the process.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.stats.evictions += inner.map.len() as u64;
+        inner.map.clear();
     }
 
     /// Entries currently memoized.
@@ -147,18 +196,15 @@ impl<V: Clone> ResultCache<V> {
         self.len() == 0
     }
 
-    /// `(hits, misses)` since construction (or the last
+    /// The cumulative counters since construction (or the last
     /// [`ResultCache::reset_stats`]).
-    pub fn stats(&self) -> (u64, u64) {
-        let inner = self.inner.lock().expect("cache lock");
-        (inner.hits, inner.misses)
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect("cache lock").stats
     }
 
-    /// Zeroes the hit/miss counters (tests).
+    /// Zeroes every counter (tests and benchmark resets).
     pub fn reset_stats(&self) {
-        let mut inner = self.inner.lock().expect("cache lock");
-        inner.hits = 0;
-        inner.misses = 0;
+        self.inner.lock().expect("cache lock").stats = CacheStats::default();
     }
 }
 
@@ -225,10 +271,17 @@ mod tests {
         assert_eq!(cache.get(&k), None);
         cache.insert(k.clone(), 42);
         assert_eq!(cache.get(&k), Some(42));
-        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
         assert_eq!(cache.len(), 1);
         cache.reset_stats();
-        assert_eq!(cache.stats(), (0, 0));
+        assert_eq!(cache.stats(), CacheStats::default());
     }
 
     #[test]
@@ -246,6 +299,37 @@ mod tests {
         // Re-inserting an existing key never triggers the clear.
         cache.insert(keys[2].clone(), 3);
         assert_eq!(cache.get(&keys[2]), Some(3));
+    }
+
+    #[test]
+    fn stats_survive_clear_on_full_and_count_evictions() {
+        let cache: ResultCache<usize> = ResultCache::new(2);
+        let keys: Vec<InstanceKey> = (0..3)
+            .map(|w| InstanceKey::new(&inst(&[], vec![w as Cost + 50]), 1, "LH", 0, None))
+            .collect();
+        cache.insert(keys[0].clone(), 0);
+        assert_eq!(cache.get(&keys[0]), Some(0)); // 1 hit
+        assert_eq!(cache.get(&keys[1]), None); // 1 miss
+        cache.insert(keys[1].clone(), 1);
+        cache.insert(keys[2].clone(), 2); // clear-on-full: 2 entries evicted
+        let s = cache.stats();
+        assert_eq!(
+            s,
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 2
+            },
+            "hit/miss history must survive the wholesale clear"
+        );
+        assert!(s.hit_rate() > 0.49 && s.hit_rate() < 0.51);
+        // An explicit clear evicts the remaining entry too.
+        cache.clear();
+        assert_eq!(cache.stats().evictions, 3);
+        assert!(cache.is_empty());
+        let delta = cache.stats().since(&s);
+        assert_eq!(delta.evictions, 1);
+        assert_eq!(delta.hits + delta.misses, 0);
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub mod problem;
 pub mod registry;
 pub mod verify;
 
-pub use batch::{BatchAllocator, BatchItem, BatchReport, BatchSummary};
+pub use batch::{BatchAllocator, BatchItem, BatchReport, BatchSummary, ReportRow, RowStats};
 pub use cluster::LayeredHeuristic;
 pub use driver::{AllocatedFunction, AllocationPipeline, CoalesceMode, PipelineError};
 pub use layered::Layered;

@@ -48,7 +48,40 @@ pub struct SolveBudget {
     pub deadline: Option<Instant>,
 }
 
+/// Smallest fuel [`scaled_node_fuel`] ever grants: enough for the
+/// exact tiers to certify any lao-kernel/JVM98-sized method outright.
+pub const MIN_SCALED_NODE_FUEL: u64 = 20_000;
+
+/// Largest fuel [`scaled_node_fuel`] ever grants: caps the worst-case
+/// exact-tier latency on the ~200-temporary tail of a JIT corpus at a
+/// few milliseconds per function.
+pub const MAX_SCALED_NODE_FUEL: u64 = 400_000;
+
+/// Fuel granted per temporary between the two clamps. The curve is
+/// linear because branch-and-bound node cost is roughly linear in the
+/// vertex count (each node scans a bit row), so constant fuel would
+/// give big instances *less* wall-clock than small ones.
+pub const SCALED_FUEL_PER_TEMP: u64 = 2_000;
+
+/// The size-adaptive default node fuel:
+/// `clamp(SCALED_FUEL_PER_TEMP × n_temps, MIN.., MAX..)`. Purely a
+/// function of the instance size, so budgets stay deterministic at
+/// any worker count.
+pub fn scaled_node_fuel(n_temps: usize) -> u64 {
+    (SCALED_FUEL_PER_TEMP.saturating_mul(n_temps as u64))
+        .clamp(MIN_SCALED_NODE_FUEL, MAX_SCALED_NODE_FUEL)
+}
+
 impl SolveBudget {
+    /// A deterministic fuel-only budget sized for an `n_temps`-vertex
+    /// instance ([`scaled_node_fuel`]): small instances get enough
+    /// fuel to certify, huge ones get a hard latency lid. This is the
+    /// budget `PortfolioConfig::default()` (and therefore the
+    /// allocation service) escalates under.
+    pub fn scaled_for(n_temps: usize) -> Self {
+        SolveBudget::nodes(scaled_node_fuel(n_temps))
+    }
+
     /// No caps: the solver runs to completion (or to the structural
     /// limits like [`chordal_dp::MAX_BAG`]).
     pub fn unlimited() -> Self {
@@ -232,6 +265,31 @@ mod tests {
         assert_eq!(starved, None);
         let fueled = Optimal::new().try_allocate(&inst, 2, &SolveBudget::nodes(1000));
         assert_eq!(fueled.expect("certifies").spill_cost, 3);
+    }
+
+    #[test]
+    fn scaled_fuel_curve_is_pinned() {
+        // The curve is part of the determinism contract (cache keys
+        // embed the effective fuel), so its exact values are pinned.
+        for (n, fuel) in [
+            (0, 20_000),
+            (5, 20_000),
+            (10, 20_000),
+            (35, 70_000),
+            (100, 200_000),
+            (200, 400_000),
+            (10_000, 400_000),
+        ] {
+            assert_eq!(scaled_node_fuel(n), fuel, "scaled_node_fuel({n})");
+            assert_eq!(SolveBudget::scaled_for(n).node_limit, fuel);
+        }
+        // Monotone: more temporaries never means less fuel.
+        let mut prev = 0;
+        for n in 0..512 {
+            let f = scaled_node_fuel(n);
+            assert!(f >= prev);
+            prev = f;
+        }
     }
 
     #[test]

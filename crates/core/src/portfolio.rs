@@ -49,7 +49,7 @@
 use crate::cache::{InstanceKey, ResultCache};
 use crate::cluster::LayeredHeuristic;
 use crate::driver::PipelineError;
-use crate::optimal::{Optimal, SolveBudget};
+use crate::optimal::{scaled_node_fuel, Optimal, SolveBudget};
 use crate::problem::{Allocation, Allocator, Instance};
 use crate::registry::{AllocatorRegistry, AllocatorSpec};
 use std::sync::OnceLock;
@@ -66,7 +66,16 @@ pub struct PortfolioConfig {
     pub cheap: String,
     /// Deterministic node fuel for the exact escalation, per
     /// [`SolveBudget::node_limit`]. `0` disables escalation entirely.
+    /// Ignored while [`PortfolioConfig::adaptive`] is set — the fuel
+    /// is then [`scaled_node_fuel`]`(n_temps)` instead.
     pub node_budget: u64,
+    /// Size-adaptive fuel (the default): each escalation runs under
+    /// [`SolveBudget::scaled_for`] the instance's vertex count, so
+    /// small methods certify while huge ones keep a hard latency lid.
+    /// Setting an explicit [`PortfolioConfig::node_budget`] turns
+    /// this off. Fuel stays a pure function of the instance, so
+    /// adaptive budgets keep the thread-count byte-identity contract.
+    pub adaptive: bool,
     /// Optional wall-clock budget for the exact escalation. `None`
     /// (the default) keeps the policy fully deterministic;
     /// `Some(Duration::ZERO)` — an already-expired budget — degrades
@@ -83,10 +92,10 @@ pub struct PortfolioConfig {
     pub cache: bool,
 }
 
-/// Default node fuel: enough for the exact solver to finish on
-/// JVM98-sized methods (tens of temporaries) and to improve a useful
-/// fraction of larger ones, while keeping the worst case at a few
-/// milliseconds per function.
+/// Default node fuel for **non-adaptive** configurations: enough for
+/// the exact solver to finish on JVM98-sized methods (tens of
+/// temporaries) and to improve a useful fraction of larger ones,
+/// while keeping the worst case at a few milliseconds per function.
 pub const DEFAULT_NODE_BUDGET: u64 = 100_000;
 
 impl Default for PortfolioConfig {
@@ -94,6 +103,7 @@ impl Default for PortfolioConfig {
         PortfolioConfig {
             cheap: "LH".to_string(),
             node_budget: DEFAULT_NODE_BUDGET,
+            adaptive: true,
             time_budget: None,
             cache: true,
         }
@@ -107,10 +117,32 @@ impl PortfolioConfig {
         self
     }
 
-    /// Sets the deterministic node fuel for the exact escalation.
+    /// Sets an explicit deterministic node fuel for the exact
+    /// escalation, turning size-adaptive scaling **off** (an explicit
+    /// fuel is a reproducibility pin; silently rescaling it would
+    /// defeat the point).
     pub fn node_budget(mut self, nodes: u64) -> Self {
         self.node_budget = nodes;
+        self.adaptive = false;
         self
+    }
+
+    /// Enables or disables size-adaptive fuel
+    /// ([`PortfolioConfig::adaptive`]).
+    pub fn adaptive_budget(mut self, enabled: bool) -> Self {
+        self.adaptive = enabled;
+        self
+    }
+
+    /// The fuel one escalation over an `n_temps`-vertex instance runs
+    /// under: [`scaled_node_fuel`] when adaptive, the configured
+    /// [`PortfolioConfig::node_budget`] otherwise.
+    pub fn effective_node_budget(&self, n_temps: usize) -> u64 {
+        if self.adaptive {
+            scaled_node_fuel(n_temps)
+        } else {
+            self.node_budget
+        }
     }
 
     /// Sets (or clears) the wall-clock budget for the exact
@@ -243,11 +275,15 @@ impl Portfolio {
         if !self.cfg.cache || self.cfg.time_budget.is_some() {
             return self.decide_uncached(instance, r);
         }
+        // The key must carry the fuel the escalation would actually
+        // run under: with adaptive budgets that is the size-scaled
+        // fuel, which differs per instance (and from the unused
+        // `node_budget` field).
         let key = InstanceKey::new(
             instance,
             r,
             self.cheap_spec.name,
-            self.cfg.node_budget,
+            self.cfg.effective_node_budget(instance.vertex_count()),
             self.cfg.time_budget,
         );
         if let Some(hit) = portfolio_cache().get(&key) {
@@ -261,9 +297,8 @@ impl Portfolio {
     fn decide_uncached(&self, instance: &Instance, r: u32) -> PortfolioOutcome {
         let cheap = self.cheap_for(instance).allocate(instance, r);
         let cheap_cost = cheap.spill_cost;
-        let escalate = cheap_cost > 0
-            && self.cfg.node_budget > 0
-            && self.cfg.time_budget != Some(Duration::ZERO);
+        let fuel = self.cfg.effective_node_budget(instance.vertex_count());
+        let escalate = cheap_cost > 0 && fuel > 0 && self.cfg.time_budget != Some(Duration::ZERO);
         if !escalate {
             return PortfolioOutcome {
                 allocation: cheap,
@@ -273,7 +308,7 @@ impl Portfolio {
                 source: PortfolioSource::Cheap,
             };
         }
-        let budget = SolveBudget::nodes(self.cfg.node_budget).with_time(self.cfg.time_budget);
+        let budget = SolveBudget::nodes(fuel).with_time(self.cfg.time_budget);
         match self.exact.try_allocate(instance, r, &budget) {
             Some(exact) if exact.spill_cost < cheap_cost => PortfolioOutcome {
                 allocation: exact,
@@ -447,12 +482,12 @@ mod tests {
         let mk = || Instance::from_weighted_graph(WeightedGraph::new(g.clone(), vec![9901; 4]));
         let p = Portfolio::new(PortfolioConfig::default()).unwrap();
         let _ = p.decide(&mk(), 1);
-        let (h0, _) = portfolio_cache().stats();
+        let h0 = portfolio_cache().stats().hits;
         // Two independently built but identical instances: both must
         // hit the entry the first decide created.
         let _ = p.decide(&mk(), 1);
         let _ = p.decide(&mk(), 1);
-        let (h1, _) = portfolio_cache().stats();
+        let h1 = portfolio_cache().stats().hits;
         assert!(h1 >= h0 + 2, "expected 2 more hits ({h0} -> {h1})");
     }
 
@@ -466,7 +501,13 @@ mod tests {
         let p = Portfolio::new(cfg.clone()).unwrap();
         let out = p.decide(&inst, 2);
         assert!(out.escalated);
-        let key = InstanceKey::new(&inst, 2, "LH", cfg.node_budget, cfg.time_budget);
+        let key = InstanceKey::new(
+            &inst,
+            2,
+            "LH",
+            cfg.effective_node_budget(inst.vertex_count()),
+            cfg.time_budget,
+        );
         assert!(
             portfolio_cache().get(&key).is_none(),
             "timing-dependent outcome must not be cached"
@@ -491,6 +532,41 @@ mod tests {
         assert!(!t.certified);
         assert!(f.certified);
         assert_eq!(f.allocation.spill_cost, 1);
+    }
+
+    #[test]
+    fn default_config_is_adaptive_and_explicit_fuel_is_not() {
+        let adaptive = PortfolioConfig::default();
+        assert!(adaptive.adaptive);
+        assert_eq!(adaptive.effective_node_budget(5), scaled_node_fuel(5));
+        assert_eq!(adaptive.effective_node_budget(300), scaled_node_fuel(300));
+        let pinned = PortfolioConfig::default().node_budget(12_345);
+        assert!(!pinned.adaptive, "an explicit fuel pins the budget");
+        assert_eq!(pinned.effective_node_budget(5), 12_345);
+        assert_eq!(pinned.effective_node_budget(300), 12_345);
+        let back_on = pinned.adaptive_budget(true);
+        assert_eq!(back_on.effective_node_budget(300), scaled_node_fuel(300));
+    }
+
+    #[test]
+    fn adaptive_decisions_match_the_equivalent_explicit_fuel() {
+        // Adaptive fuel is just scaled_node_fuel(n) — a decision under
+        // the default adaptive config must be bit-identical to one
+        // under that fuel pinned explicitly (caches off so both solve).
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let inst =
+            Instance::from_weighted_graph(WeightedGraph::new(g, vec![4301, 4302, 4303, 4304, 1]));
+        let adaptive = Portfolio::new(PortfolioConfig::default().cache(false)).unwrap();
+        let pinned = Portfolio::new(
+            PortfolioConfig::default()
+                .node_budget(scaled_node_fuel(inst.vertex_count()))
+                .cache(false),
+        )
+        .unwrap();
+        let a = adaptive.decide(&inst, 2);
+        let b = pinned.decide(&inst, 2);
+        assert!(outcomes_equal(&a, &b));
+        assert!(a.escalated && a.certified);
     }
 
     #[test]

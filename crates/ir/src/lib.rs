@@ -23,7 +23,9 @@
 //!   before uses) ([`spill_code`]),
 //! * seeded random program generators shaped like the benchmark suites
 //!   of the paper ([`genprog`]),
-//! * a textual pretty-printer ([`pretty`]).
+//! * a textual pretty-printer ([`pretty`]) and a canonical,
+//!   round-trippable text codec for shipping functions across process
+//!   boundaries ([`textio`]).
 //!
 //! # Example
 //!
@@ -61,6 +63,7 @@ pub mod spill_code;
 pub mod spill_cost;
 pub mod split;
 pub mod ssa;
+pub mod textio;
 
 pub use analysis::FunctionAnalysis;
 pub use cfg::{Block, BlockId, Function, Instr, Opcode, Value};

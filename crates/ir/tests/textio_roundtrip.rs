@@ -1,0 +1,55 @@
+//! Property tests for the text codec: `parse(print(f)) == f` over
+//! randomized generator output — the same corpora the service wire
+//! protocol ships, so a round-trip failure here is a wire-protocol
+//! correctness bug.
+
+use lra_ir::genprog::{random_jit_function, random_ssa_function, JitConfig, SsaConfig};
+use lra_ir::textio;
+use proptest::prelude::*;
+use rand::SeedableRng as _;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ssa_functions_round_trip(seed in 0u64..1_000_000, instrs in 20usize..=140) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let cfg = SsaConfig {
+            target_instrs: instrs,
+            branch_percent: 25,
+            loop_percent: 15,
+            copy_percent: 5,
+            ..SsaConfig::default()
+        };
+        let f = random_ssa_function(&mut rng, &cfg, format!("ssa::f{seed}"));
+        let text = textio::print(&f);
+        let back = textio::parse(&text);
+        prop_assert!(back.is_ok(), "parse failed: {:?}", back.err());
+        prop_assert_eq!(back.unwrap(), f);
+    }
+
+    #[test]
+    fn jit_functions_round_trip(seed in 0u64..1_000_000, vars in 8usize..=80) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let cfg = JitConfig {
+            vars,
+            blocks: (vars / 4).max(4),
+            ..JitConfig::default()
+        };
+        let f = random_jit_function(&mut rng, &cfg, format!("jit::m{seed}"));
+        let text = textio::print(&f);
+        let back = textio::parse(&text);
+        prop_assert!(back.is_ok(), "parse failed: {:?}", back.err());
+        prop_assert_eq!(back.unwrap(), f);
+    }
+
+    #[test]
+    fn printing_is_stable_under_reparse(seed in 0u64..1_000_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let f = random_ssa_function(&mut rng, &SsaConfig::default(), "stable::f");
+        let once = textio::print(&f);
+        let twice = textio::print(&textio::parse(&once).unwrap());
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,231 @@
+//! The JSON-lines client and load generator: pipelines a corpus into
+//! a server, retries backpressure rejections, and reassembles the
+//! responses into submission-ordered [`ReportRow`]s whose rendering is
+//! byte-identical to a local batch run.
+
+use crate::proto::{self, Json, Response};
+use lra_core::batch::{render_rows, ReportRow};
+use lra_ir::{textio, Function};
+use std::collections::BTreeMap;
+use std::io::{self, BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// How many alloc requests the client keeps in flight. Well above any
+/// sensible queue capacity, so the server's backpressure — not the
+/// client's pacing — is what gets exercised; still bounded so a huge
+/// corpus cannot deadlock both peers' socket buffers.
+const PIPELINE_WINDOW: usize = 64;
+
+/// One connection to an `lra-service` server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+/// What a [`Client::allocate_all`] run produced.
+#[derive(Clone, Debug)]
+pub struct LoadResult {
+    /// Per-function rows in submission order.
+    pub rows: Vec<ReportRow>,
+    /// `queue_full` rejections that were retried.
+    pub retries: u64,
+    /// Wall-clock time from first send to last response.
+    pub elapsed: Duration,
+}
+
+impl LoadResult {
+    /// Renders the rows exactly as
+    /// [`lra_core::batch::BatchReport::render`] renders a local batch
+    /// over the same functions — the byte-identity the CI smoke test
+    /// diffs.
+    pub fn render(&self) -> String {
+        render_rows(&self.rows)
+    }
+
+    /// Functions served per second over the run.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.rows.len() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+impl Client {
+    /// Connects to `addr` immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+            next_id: 0,
+        })
+    }
+
+    /// Connects with retries — the load generator's default, so it can
+    /// be started concurrently with the server (CI does exactly that).
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connect failure after `attempts` tries spaced
+    /// `delay` apart.
+    pub fn connect_retry(addr: &str, attempts: u32, delay: Duration) -> io::Result<Client> {
+        let mut last = None;
+        for attempt in 0..attempts.max(1) {
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) => last = Some(e),
+            }
+            if attempt + 1 < attempts {
+                std::thread::sleep(delay);
+            }
+        }
+        Err(last.unwrap_or_else(|| io::Error::other("no connect attempts made")))
+    }
+
+    fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    fn read_response(&mut self) -> io::Result<Response> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        proto::parse_response(line.trim_end())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Ships every function through the server (pipelined up to a
+    /// fixed window, resubmitting `queue_full` rejections with a short
+    /// backoff) and returns the rows in submission order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, protocol violations, or a server
+    /// that starts shutting down mid-run.
+    pub fn allocate_all(&mut self, functions: &[Function]) -> io::Result<LoadResult> {
+        let base = self.next_id;
+        self.next_id += functions.len() as u64;
+        let texts: Vec<String> = functions.iter().map(textio::print).collect();
+        let mut rows: Vec<Option<ReportRow>> = vec![None; functions.len()];
+        let mut pending: std::collections::VecDeque<usize> = (0..functions.len()).collect();
+        let mut outstanding = 0usize;
+        let mut done = 0usize;
+        let mut retries = 0u64;
+        let start = Instant::now();
+        // A response id outside this run's range is a server bug; it
+        // must surface as a protocol error, never as an index panic.
+        let index_of = |id: u64| -> io::Result<usize> {
+            id.checked_sub(base)
+                .and_then(|d| usize::try_from(d).ok())
+                .filter(|&k| k < functions.len())
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("response id {id} outside this run"),
+                    )
+                })
+        };
+        while done < functions.len() {
+            while outstanding < PIPELINE_WINDOW {
+                let Some(k) = pending.pop_front() else { break };
+                self.send_line(&proto::alloc_request(base + k as u64, &texts[k]))?;
+                outstanding += 1;
+            }
+            match self.read_response()? {
+                Response::Row { id, row } => {
+                    let k = index_of(id)?;
+                    if rows[k].is_some() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("duplicate response id {id}"),
+                        ));
+                    }
+                    rows[k] = Some(row);
+                    outstanding -= 1;
+                    done += 1;
+                }
+                Response::Rejected { id } => {
+                    // Backpressure: give the worker pool a beat to
+                    // drain before resubmitting.
+                    retries += 1;
+                    outstanding -= 1;
+                    pending.push_back(index_of(id)?);
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                Response::Other { fields, .. } => {
+                    let msg = fields
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unexpected non-row response");
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, msg.to_string()));
+                }
+            }
+        }
+        Ok(LoadResult {
+            rows: rows
+                .into_iter()
+                .map(|r| r.expect("all rows filled"))
+                .collect(),
+            retries,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Fetches the server's metrics as the raw response field map
+    /// (`served`, `rejected`, `cache_hits`, `p50_us`, …).
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport or protocol errors.
+    pub fn stats(&mut self) -> io::Result<BTreeMap<String, Json>> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send_line(&proto::op_request(id, "stats"))?;
+        match self.read_response()? {
+            Response::Other { id: got, fields } if got == Some(id) => Ok(fields),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected stats response {other:?}"),
+            )),
+        }
+    }
+
+    /// Asks the server to stop accepting connections and drain.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport or protocol errors.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send_line(&proto::op_request(id, "shutdown"))?;
+        match self.read_response()? {
+            Response::Other { id: got, fields }
+                if got == Some(id)
+                    && fields.get("stopping").and_then(Json::as_bool) == Some(true) =>
+            {
+                Ok(())
+            }
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected shutdown response {other:?}"),
+            )),
+        }
+    }
+}

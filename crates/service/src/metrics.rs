@@ -1,0 +1,175 @@
+//! Per-server metrics: requests served, rejections, cache behaviour,
+//! queue depth high-water mark and service-time percentiles.
+
+use lra_core::cache::CacheStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The live counters the service updates as it runs; snapshotted into
+/// a [`ServiceMetrics`] on demand.
+pub(crate) struct MetricsInner {
+    served: AtomicU64,
+    rejected: AtomicU64,
+    /// Per-request service times (enqueue to completion), in
+    /// microseconds. Bounded: once full the reservoir stops growing —
+    /// percentiles then describe the first window, which is enough for
+    /// the bench experiments and keeps a long-lived server's memory
+    /// flat.
+    service_us: Mutex<Vec<u64>>,
+    /// Cache counters at service start; metrics report the delta so a
+    /// server's hit rate is not polluted by earlier process history.
+    cache_base: CacheStats,
+}
+
+/// Service times kept for the percentile estimates.
+const SERVICE_TIME_RESERVOIR: usize = 65_536;
+
+impl MetricsInner {
+    pub(crate) fn new(cache_base: CacheStats) -> Self {
+        MetricsInner {
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            service_us: Mutex::new(Vec::new()),
+            cache_base,
+        }
+    }
+
+    pub(crate) fn record_served(&self, service_time: Duration) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        let mut times = self.service_us.lock().expect("metrics lock");
+        if times.len() < SERVICE_TIME_RESERVOIR {
+            times.push(service_time.as_micros().min(u64::MAX as u128) as u64);
+        }
+    }
+
+    pub(crate) fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(
+        &self,
+        queue_high_water: usize,
+        queue_capacity: usize,
+        workers: usize,
+        cache_now: CacheStats,
+    ) -> ServiceMetrics {
+        let times = self.service_us.lock().expect("metrics lock");
+        let mut sorted = times.clone();
+        drop(times);
+        sorted.sort_unstable();
+        ServiceMetrics {
+            served: self.served.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queue_high_water,
+            queue_capacity,
+            workers,
+            cache: cache_now.since(&self.cache_base),
+            p50: percentile(&sorted, 50),
+            p95: percentile(&sorted, 95),
+        }
+    }
+}
+
+/// Nearest-rank percentile over an already-sorted µs series.
+fn percentile(sorted_us: &[u64], p: usize) -> Duration {
+    if sorted_us.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = (p * sorted_us.len()).div_ceil(100).max(1);
+    Duration::from_micros(sorted_us[rank - 1])
+}
+
+/// A point-in-time snapshot of one server's counters.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceMetrics {
+    /// Requests completed (successfully or with a per-item error).
+    pub served: u64,
+    /// Submissions refused with `queue_full`.
+    pub rejected: u64,
+    /// Most requests ever queued at once.
+    pub queue_high_water: usize,
+    /// The configured queue capacity.
+    pub queue_capacity: usize,
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Result-cache counters accumulated **by this server** (deltas
+    /// since service start of the process-wide portfolio cache,
+    /// including evictions).
+    pub cache: CacheStats,
+    /// Median service time (enqueue to completion).
+    pub p50: Duration,
+    /// 95th-percentile service time.
+    pub p95: Duration,
+}
+
+impl ServiceMetrics {
+    /// Cache hits as a fraction of this server's lookups.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+
+    /// A one-paragraph human-readable rendering (for stderr/logs; not
+    /// part of any determinism contract).
+    pub fn render(&self) -> String {
+        format!(
+            "served {} | rejected {} | queue high-water {}/{} | workers {} | \
+             cache hits {} misses {} evictions {} (hit rate {:.1}%) | \
+             service time p50 {:.3} ms p95 {:.3} ms",
+            self.served,
+            self.rejected,
+            self.queue_high_water,
+            self.queue_capacity,
+            self.workers,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            100.0 * self.cache_hit_rate(),
+            self.p50.as_secs_f64() * 1e3,
+            self.p95.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let us: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&us, 50), Duration::from_micros(50));
+        assert_eq!(percentile(&us, 95), Duration::from_micros(95));
+        assert_eq!(percentile(&us, 100), Duration::from_micros(100));
+        assert_eq!(percentile(&[], 50), Duration::ZERO);
+        assert_eq!(percentile(&[7], 95), Duration::from_micros(7));
+    }
+
+    #[test]
+    fn snapshot_reports_deltas_against_the_cache_base() {
+        let base = CacheStats {
+            hits: 10,
+            misses: 5,
+            evictions: 1,
+        };
+        let inner = MetricsInner::new(base);
+        inner.record_served(Duration::from_micros(100));
+        inner.record_served(Duration::from_micros(300));
+        inner.record_rejected();
+        let now = CacheStats {
+            hits: 14,
+            misses: 9,
+            evictions: 1,
+        };
+        let m = inner.snapshot(3, 8, 2, now);
+        assert_eq!(m.served, 2);
+        assert_eq!(m.rejected, 1);
+        assert_eq!(m.cache.hits, 4);
+        assert_eq!(m.cache.misses, 4);
+        assert_eq!(m.cache.evictions, 0);
+        assert!((m.cache_hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(m.p50, Duration::from_micros(100));
+        assert_eq!(m.p95, Duration::from_micros(300));
+        assert!(m.render().contains("served 2"));
+    }
+}

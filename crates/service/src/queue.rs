@@ -1,0 +1,206 @@
+//! The bounded MPSC request queue behind [`crate::AllocationService`].
+//!
+//! Backpressure is explicit: [`BoundedQueue::try_push`] returns the
+//! item back in [`PushError::Full`] instead of blocking, so a producer
+//! (an in-process submitter or a TCP connection thread) can surface a
+//! `queue_full` rejection immediately rather than stalling the caller
+//! for an unbounded time. Consumers block in [`BoundedQueue::pop`]
+//! until work arrives or the queue is closed **and drained** — close
+//! never drops accepted items, which is what makes graceful shutdown
+//! lossless.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused (the item is handed back in both cases).
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue holds `capacity` items; the caller should reject the
+    /// request (or retry later).
+    Full(T),
+    /// The queue was closed by shutdown; no new work is accepted.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    /// Most items ever queued at once — the backpressure gauge the
+    /// service metrics report.
+    high_water: usize,
+}
+
+/// A Mutex+Condvar bounded MPSC queue (std-only, no lock-free games:
+/// the per-item work — a whole allocation pipeline run — dwarfs any
+/// queue overhead by orders of magnitude).
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue accepting at most `capacity` items at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (nothing could ever be enqueued).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity queue rejects everything");
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+                high_water: 0,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues `item`, or returns it in a [`PushError`] when the
+    /// queue is full or closed. Never blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`BoundedQueue::close`].
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        state.high_water = state.high_water.max(state.items.len());
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty.
+    /// Returns `None` only once the queue is closed **and** fully
+    /// drained — a worker seeing `None` can exit knowing no accepted
+    /// request remains.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: future pushes fail with
+    /// [`PushError::Closed`], and blocked consumers wake to drain the
+    /// remaining items before seeing `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Items currently queued (not the ones being worked on).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Most items ever queued at once.
+    pub fn high_water(&self) -> usize {
+        self.state.lock().expect("queue lock").high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_high_water() {
+        let q = BoundedQueue::new(4);
+        for i in 0..3 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.high_water(), 3);
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(9).unwrap();
+        assert_eq!(q.high_water(), 3, "high water is a max, not a gauge");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(9));
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        match q.try_push(3) {
+            Err(PushError::Full(item)) => assert_eq!(item, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Draining one slot re-opens the queue.
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_signals_none() {
+        let q = BoundedQueue::new(4);
+        q.try_push('a').unwrap();
+        q.try_push('b').unwrap();
+        q.close();
+        match q.try_push('c') {
+            Err(PushError::Closed(item)) => assert_eq!(item, 'c'),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some('a'));
+        assert_eq!(q.pop(), Some('b'));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "None is sticky");
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_push_and_close() {
+        let q = Arc::new(BoundedQueue::new(2));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        // Give the consumer a moment to block, then feed and close.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(consumer.join().unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_rejected() {
+        let _ = BoundedQueue::<u8>::new(0);
+    }
+}

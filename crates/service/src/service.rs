@@ -1,0 +1,337 @@
+//! The in-process allocation service: a persistent worker pool over a
+//! bounded request queue.
+
+use crate::metrics::{MetricsInner, ServiceMetrics};
+use crate::queue::{BoundedQueue, PushError};
+use lra_core::batch::{self, BatchItem};
+use lra_core::driver::AllocationPipeline;
+use lra_core::portfolio::portfolio_cache;
+use lra_ir::Function;
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Configuration for [`AllocationService::start`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// The pipeline every request runs through (typically a
+    /// `Portfolio`-policy pipeline, so the process-wide result cache
+    /// serves repeat methods).
+    pub pipeline: AllocationPipeline,
+    /// Worker threads. `0` resolves via
+    /// [`lra_core::batch::default_threads`].
+    pub workers: usize,
+    /// Request-queue capacity: submissions beyond it are rejected
+    /// with [`SubmitError::QueueFull`] (explicit backpressure).
+    pub queue_capacity: usize,
+}
+
+/// Default queue capacity: deep enough that normal bursts never see a
+/// rejection, shallow enough that a stalled worker pool surfaces as
+/// backpressure (not as unbounded memory growth).
+pub const DEFAULT_QUEUE_CAPACITY: usize = 256;
+
+impl ServiceConfig {
+    /// A config running `pipeline` with the default worker count and
+    /// queue capacity.
+    pub fn new(pipeline: AllocationPipeline) -> Self {
+        ServiceConfig {
+            pipeline,
+            workers: 0,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+        }
+    }
+
+    /// Sets the worker-thread count (`0` = default).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Sets the queue capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        assert!(n > 0, "a zero-capacity queue rejects everything");
+        self.queue_capacity = n;
+        self
+    }
+}
+
+/// Why a submission was not accepted. The function is **not** lost —
+/// both variants hand it back so the caller can retry or fail over.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The request queue is at capacity — the server is saturated and
+    /// the caller should back off and retry ([`AllocationService`]
+    /// never blocks a submitter to hide overload).
+    QueueFull {
+        /// The rejected function, returned to the caller.
+        function: Function,
+        /// The configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The service is draining for shutdown; no new work is accepted.
+    ShuttingDown {
+        /// The rejected function, returned to the caller.
+        function: Function,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity, .. } => {
+                write!(f, "queue full (capacity {capacity})")
+            }
+            SubmitError::ShuttingDown { .. } => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+/// How a completed [`BatchItem`] gets back to the submitter.
+enum Responder {
+    /// An in-process ticket wait.
+    Channel(mpsc::Sender<BatchItem>),
+    /// An arbitrary completion callback (the TCP front end writes the
+    /// response line from it, on the worker thread).
+    Callback(Box<dyn FnOnce(BatchItem) + Send>),
+}
+
+struct Job {
+    function: Function,
+    responder: Responder,
+    enqueued: Instant,
+}
+
+struct Shared {
+    queue: BoundedQueue<Job>,
+    pipeline: AllocationPipeline,
+    metrics: MetricsInner,
+    workers: usize,
+}
+
+/// A pending request's receipt: [`Ticket::wait`] blocks until the
+/// worker pool finishes this request.
+pub struct Ticket {
+    rx: mpsc::Receiver<BatchItem>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes and returns its item. Items
+    /// are identical to what [`lra_core::batch::BatchAllocator`]
+    /// produces for the same function and pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker processing this request panicked so hard
+    /// the response was never sent (the pipeline itself is
+    /// panic-caught, so this indicates a bug in the service).
+    pub fn wait(self) -> BatchItem {
+        self.rx.recv().expect("service dropped an accepted request")
+    }
+}
+
+/// A long-lived allocation server: accepted [`Function`]s flow through
+/// a bounded queue into a persistent worker pool running one
+/// [`AllocationPipeline`]; results come back as [`BatchItem`]s.
+///
+/// # Contracts
+///
+/// * **Backpressure, not blocking**: [`AllocationService::submit`]
+///   returns [`SubmitError::QueueFull`] instead of stalling.
+/// * **Lossless shutdown**: every accepted request is served before
+///   [`AllocationService::shutdown`] returns.
+/// * **Batch-identical output**: each item is produced by
+///   [`lra_core::batch::allocate_item`] — the same per-item engine as
+///   [`lra_core::batch::BatchAllocator`] — so reports are
+///   byte-identical to a batch run at any worker count.
+///
+/// # Example
+///
+/// ```
+/// use lra_core::driver::AllocationPipeline;
+/// use lra_ir::builder::FunctionBuilder;
+/// use lra_service::{AllocationService, ServiceConfig};
+/// use lra_targets::{Target, TargetKind};
+///
+/// let pipeline = AllocationPipeline::new(Target::new(TargetKind::St231)).registers(2);
+/// let service = AllocationService::start(ServiceConfig::new(pipeline).workers(2));
+/// let mut b = FunctionBuilder::new("demo");
+/// let e = b.entry_block();
+/// let x = b.op(e, &[]);
+/// b.op(e, &[x]);
+/// let ticket = service.submit(b.finish()).expect("queue has room");
+/// assert!(ticket.wait().outcome.is_ok());
+/// let metrics = service.shutdown();
+/// assert_eq!(metrics.served, 1);
+/// ```
+pub struct AllocationService {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl AllocationService {
+    /// Starts the worker pool and returns the running service.
+    pub fn start(cfg: ServiceConfig) -> Self {
+        let workers = if cfg.workers > 0 {
+            cfg.workers
+        } else {
+            batch::default_threads()
+        };
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            pipeline: cfg.pipeline,
+            metrics: MetricsInner::new(portfolio_cache().stats()),
+            workers,
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        AllocationService {
+            shared,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Submits one function, returning a [`Ticket`] to wait on.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when the queue is at capacity,
+    /// [`SubmitError::ShuttingDown`] after shutdown began. The
+    /// function is returned inside the error either way.
+    pub fn submit(&self, function: Function) -> Result<Ticket, SubmitError> {
+        let (tx, rx) = mpsc::channel();
+        self.enqueue(function, Responder::Channel(tx))?;
+        Ok(Ticket { rx })
+    }
+
+    /// Submits one function with a completion callback instead of a
+    /// ticket. The callback runs **on the worker thread** right after
+    /// the pipeline finishes — keep it short (the TCP front end uses
+    /// it to write one response line).
+    ///
+    /// # Errors
+    ///
+    /// Same rejections as [`AllocationService::submit`].
+    pub fn submit_with(
+        &self,
+        function: Function,
+        on_done: impl FnOnce(BatchItem) + Send + 'static,
+    ) -> Result<(), SubmitError> {
+        self.enqueue(function, Responder::Callback(Box::new(on_done)))
+    }
+
+    fn enqueue(&self, function: Function, responder: Responder) -> Result<(), SubmitError> {
+        let job = Job {
+            function,
+            responder,
+            enqueued: Instant::now(),
+        };
+        self.shared.queue.try_push(job).map_err(|e| {
+            self.shared.metrics.record_rejected();
+            match e {
+                PushError::Full(job) => SubmitError::QueueFull {
+                    function: job.function,
+                    capacity: self.shared.queue.capacity(),
+                },
+                PushError::Closed(job) => SubmitError::ShuttingDown {
+                    function: job.function,
+                },
+            }
+        })
+    }
+
+    /// Convenience driver: pushes every function through the service
+    /// (retrying `queue_full` rejections with a tiny backoff, so the
+    /// call exercises real backpressure when the corpus exceeds the
+    /// queue) and returns the items **in input order** — the shape
+    /// [`lra_core::batch::BatchAllocator::run`] returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service shuts down while this call is submitting.
+    pub fn run_all(&self, functions: &[Function]) -> Vec<BatchItem> {
+        let mut tickets = Vec::with_capacity(functions.len());
+        for f in functions {
+            let mut function = f.clone();
+            loop {
+                match self.submit(function) {
+                    Ok(t) => {
+                        tickets.push(t);
+                        break;
+                    }
+                    Err(SubmitError::QueueFull { function: back, .. }) => {
+                        function = back;
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                    Err(SubmitError::ShuttingDown { .. }) => {
+                        panic!("service shut down mid-run_all")
+                    }
+                }
+            }
+        }
+        tickets.into_iter().map(Ticket::wait).collect()
+    }
+
+    /// A snapshot of the server's counters.
+    pub fn metrics(&self) -> ServiceMetrics {
+        self.shared.metrics.snapshot(
+            self.shared.queue.high_water(),
+            self.shared.queue.capacity(),
+            self.shared.workers,
+            portfolio_cache().stats(),
+        )
+    }
+
+    /// Requests currently queued (excluding in-flight work).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Graceful shutdown: stops accepting work, serves everything
+    /// already accepted, joins the workers, and returns the final
+    /// metrics. Idempotent — later calls just return a fresh snapshot.
+    pub fn shutdown(&self) -> ServiceMetrics {
+        self.shared.queue.close();
+        let handles = std::mem::take(&mut *self.handles.lock().expect("service handles"));
+        for h in handles {
+            let _ = h.join();
+        }
+        self.metrics()
+    }
+}
+
+impl Drop for AllocationService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        let item = batch::allocate_item(&shared.pipeline, &job.function);
+        shared.metrics.record_served(job.enqueued.elapsed());
+        match job.responder {
+            Responder::Channel(tx) => {
+                // A submitter that dropped its ticket no longer wants
+                // the answer; the work still counted as served.
+                let _ = tx.send(item);
+            }
+            Responder::Callback(cb) => {
+                // A panicking callback (user code) must not kill the
+                // worker: the queue behind it still holds accepted
+                // requests the drain contract promises to serve. The
+                // panic message still reaches stderr via the process
+                // panic hook.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || cb(item)));
+            }
+        }
+    }
+}

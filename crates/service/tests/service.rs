@@ -1,0 +1,337 @@
+//! End-to-end tests for the allocation service: batch byte-identity,
+//! concurrent-submitter determinism, backpressure, lossless drain,
+//! and the TCP front end.
+
+use lra_core::batch::{render_rows, BatchAllocator, BatchItem};
+use lra_core::driver::AllocationPipeline;
+use lra_core::pipeline::InstanceKind;
+use lra_core::portfolio::PortfolioConfig;
+use lra_ir::genprog::{random_jit_function, random_ssa_function, JitConfig, SsaConfig};
+use lra_ir::Function;
+use lra_service::{serve, AllocationService, Client, ServiceConfig, SubmitError};
+use lra_targets::{Target, TargetKind};
+use rand::SeedableRng as _;
+use rand_chacha::ChaCha8Rng;
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+fn ssa_corpus(n: u64) -> Vec<Function> {
+    (0..n)
+        .map(|seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let cfg = SsaConfig {
+                target_instrs: 60,
+                liveness_window: 10,
+                ..SsaConfig::default()
+            };
+            random_ssa_function(&mut rng, &cfg, format!("svc::f{seed}"))
+        })
+        .collect()
+}
+
+fn jit_corpus(n: u64) -> Vec<Function> {
+    (0..n)
+        .map(|seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1000 + seed);
+            let cfg = JitConfig {
+                vars: 30,
+                blocks: 12,
+                ..JitConfig::default()
+            };
+            random_jit_function(&mut rng, &cfg, format!("svc::m{seed}"))
+        })
+        .collect()
+}
+
+fn pipeline() -> AllocationPipeline {
+    AllocationPipeline::new(Target::new(TargetKind::St231)).registers(3)
+}
+
+fn portfolio_pipeline() -> AllocationPipeline {
+    AllocationPipeline::new(Target::new(TargetKind::ArmCortexA8))
+        .instance_kind(InstanceKind::PreciseGraph)
+        .registers(4)
+        .portfolio(PortfolioConfig::default())
+}
+
+#[test]
+fn service_items_are_byte_identical_to_a_batch_run_at_any_worker_count() {
+    let fs = ssa_corpus(8);
+    let reference = BatchAllocator::new(pipeline()).threads(1).run(&fs).render();
+    for workers in [1, 2, 4] {
+        let service = AllocationService::start(ServiceConfig::new(pipeline()).workers(workers));
+        let items = service.run_all(&fs);
+        let rows: Vec<_> = items.iter().map(BatchItem::row).collect();
+        assert_eq!(
+            render_rows(&rows),
+            reference,
+            "{workers} workers must render like the batch path"
+        );
+        let metrics = service.shutdown();
+        assert_eq!(metrics.served, fs.len() as u64);
+        assert_eq!(metrics.workers, workers);
+    }
+}
+
+#[test]
+fn concurrent_submitters_get_deterministic_per_request_reports() {
+    // The same request set pushed from several threads at several
+    // worker counts must yield identical per-request reports — order
+    // of arrival at the queue must not leak into any result.
+    let fs = Arc::new(jit_corpus(10));
+    let reference: Vec<String> = BatchAllocator::new(portfolio_pipeline())
+        .threads(1)
+        .run(&fs)
+        .rows()
+        .iter()
+        .map(|r| format!("{r:?}"))
+        .collect();
+    for workers in [1, 3] {
+        let service = Arc::new(AllocationService::start(
+            ServiceConfig::new(portfolio_pipeline()).workers(workers),
+        ));
+        let mut submitters = Vec::new();
+        for t in 0..2 {
+            let service = Arc::clone(&service);
+            let fs = Arc::clone(&fs);
+            submitters.push(std::thread::spawn(move || {
+                // Thread 0 takes even indices, thread 1 odd — together
+                // they cover the set, interleaved on the queue.
+                let mut got = Vec::new();
+                for (k, f) in fs.iter().enumerate().filter(|(k, _)| k % 2 == t) {
+                    let mut function = f.clone();
+                    let ticket = loop {
+                        match service.submit(function) {
+                            Ok(ticket) => break ticket,
+                            Err(SubmitError::QueueFull { function: back, .. }) => {
+                                function = back;
+                                std::thread::sleep(Duration::from_micros(100));
+                            }
+                            Err(e) => panic!("unexpected rejection: {e}"),
+                        }
+                    };
+                    got.push((k, ticket.wait()));
+                }
+                got
+            }));
+        }
+        let mut results: Vec<(usize, BatchItem)> = submitters
+            .into_iter()
+            .flat_map(|h| h.join().expect("submitter thread"))
+            .collect();
+        results.sort_by_key(|&(k, _)| k);
+        for (k, item) in &results {
+            assert_eq!(
+                format!("{:?}", item.row()),
+                reference[*k],
+                "request {k} at {workers} workers"
+            );
+        }
+        service.shutdown();
+    }
+}
+
+#[test]
+fn full_queue_rejects_and_recovers() {
+    // One worker, blocked inside a completion callback: the queue
+    // fills deterministically, the next submission is rejected with
+    // queue_full, and draining resumes once the callback releases.
+    let fs = ssa_corpus(4);
+    let service =
+        AllocationService::start(ServiceConfig::new(pipeline()).workers(1).queue_capacity(2));
+    let (entered_tx, entered_rx) = mpsc::channel();
+    let (release_tx, release_rx) = mpsc::channel();
+    service
+        .submit_with(fs[0].clone(), move |_| {
+            entered_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        })
+        .expect("empty queue accepts");
+    // Wait until the worker is inside the callback — the queue is now
+    // empty and the only worker is pinned.
+    entered_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+    let t1 = service.submit(fs[1].clone()).expect("slot 1 of 2");
+    let t2 = service.submit(fs[2].clone()).expect("slot 2 of 2");
+    match service.submit(fs[3].clone()) {
+        Err(SubmitError::QueueFull { capacity, function }) => {
+            assert_eq!(capacity, 2);
+            assert_eq!(function.name, fs[3].name, "the function comes back");
+        }
+        other => panic!("expected QueueFull, got {:?}", other.map(|_| "ticket")),
+    }
+    assert_eq!(service.queue_depth(), 2);
+    release_tx.send(()).unwrap();
+    assert!(t1.wait().outcome.is_ok());
+    assert!(t2.wait().outcome.is_ok());
+    let metrics = service.shutdown();
+    assert_eq!(metrics.served, 3);
+    assert_eq!(metrics.rejected, 1);
+    assert_eq!(metrics.queue_high_water, 2);
+}
+
+#[test]
+fn panicking_callback_does_not_kill_the_worker_or_the_drain_contract() {
+    let fs = ssa_corpus(3);
+    let service =
+        AllocationService::start(ServiceConfig::new(pipeline()).workers(1).queue_capacity(8));
+    service
+        .submit_with(fs[0].clone(), |_| panic!("callback bug"))
+        .expect("accepted");
+    // The single worker must survive the panic and keep serving.
+    let t1 = service.submit(fs[1].clone()).expect("accepted");
+    let t2 = service.submit(fs[2].clone()).expect("accepted");
+    assert!(t1.wait().outcome.is_ok());
+    assert!(t2.wait().outcome.is_ok());
+    let metrics = service.shutdown();
+    assert_eq!(
+        metrics.served, 3,
+        "the panicking request still counts as served"
+    );
+}
+
+#[test]
+fn shutdown_drains_every_accepted_request() {
+    let fs = ssa_corpus(6);
+    let service =
+        AllocationService::start(ServiceConfig::new(pipeline()).workers(2).queue_capacity(16));
+    let tickets: Vec<_> = fs
+        .iter()
+        .map(|f| service.submit(f.clone()).expect("queue has room"))
+        .collect();
+    let metrics = service.shutdown();
+    assert_eq!(metrics.served, 6, "no accepted request may be dropped");
+    for t in tickets {
+        assert!(t.wait().outcome.is_ok(), "drained results stay readable");
+    }
+    // After shutdown, new submissions are refused.
+    match service.submit(fs[0].clone()) {
+        Err(SubmitError::ShuttingDown { .. }) => {}
+        other => panic!("expected ShuttingDown, got {:?}", other.map(|_| "ticket")),
+    }
+}
+
+#[test]
+fn tcp_end_to_end_matches_batch_and_serves_repeats_from_cache() {
+    let fs = jit_corpus(8);
+    let reference = BatchAllocator::new(portfolio_pipeline())
+        .threads(1)
+        .run(&fs);
+    let server = serve(
+        "127.0.0.1:0",
+        ServiceConfig::new(portfolio_pipeline())
+            .workers(2)
+            .queue_capacity(16),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect_retry(&addr, 10, Duration::from_millis(50)).unwrap();
+
+    let cold = client.allocate_all(&fs).unwrap();
+    assert_eq!(
+        cold.render(),
+        reference.render(),
+        "TCP round-trip must be byte-identical to the local batch"
+    );
+
+    // Second pass: identical output, served from the shared cache.
+    let warm = client.allocate_all(&fs).unwrap();
+    assert_eq!(
+        warm.render(),
+        cold.render(),
+        "cache-warm must equal cache-cold"
+    );
+
+    let stats = client.stats().unwrap();
+    let get = |k: &str| {
+        stats[k]
+            .as_u64()
+            .unwrap_or_else(|| panic!("stats field {k}"))
+    };
+    assert_eq!(get("served"), 2 * fs.len() as u64);
+    assert!(
+        get("cache_hits") >= fs.len() as u64,
+        "warm pass should hit the shared cache ({} hits)",
+        get("cache_hits")
+    );
+    assert!(get("p50_us") > 0);
+
+    client.shutdown().unwrap();
+    let metrics = server.wait();
+    assert_eq!(metrics.served, 2 * fs.len() as u64);
+}
+
+#[test]
+fn tcp_backpressure_rejects_then_completes_the_whole_corpus() {
+    // Queue capacity far below the corpus size with a single worker:
+    // the pipelined client must see queue_full rejections and still
+    // deliver every row, identical to the batch path.
+    let fs = jit_corpus(12);
+    let reference = BatchAllocator::new(portfolio_pipeline())
+        .threads(1)
+        .run(&fs);
+    let server = serve(
+        "127.0.0.1:0",
+        ServiceConfig::new(portfolio_pipeline())
+            .workers(1)
+            .queue_capacity(2),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let result = client.allocate_all(&fs).unwrap();
+    assert_eq!(result.render(), reference.render());
+    assert!(
+        result.retries > 0,
+        "12 pipelined requests against capacity 2 must hit backpressure"
+    );
+    client.shutdown().unwrap();
+    let metrics = server.wait();
+    assert_eq!(metrics.served, fs.len() as u64);
+    assert_eq!(metrics.rejected, result.retries);
+    assert!(metrics.queue_high_water <= 2);
+}
+
+#[test]
+fn bad_requests_get_error_responses_without_killing_the_connection() {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    let server = serve(
+        "127.0.0.1:0",
+        ServiceConfig::new(pipeline()).workers(1).queue_capacity(4),
+    )
+    .unwrap();
+    let stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut send = |line: &str| {
+        let mut w = &stream;
+        w.write_all(line.as_bytes()).unwrap();
+        w.write_all(b"\n").unwrap();
+        w.flush().unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        resp
+    };
+    assert!(send("not json").contains("bad request"));
+    assert!(send("{\"op\":\"alloc\",\"id\":1}").contains("alloc without fn"));
+    assert!(send("{\"op\":\"alloc\",\"id\":2,\"fn\":\"garbage\"}").contains("bad function"));
+    assert!(send("{\"op\":\"frob\",\"id\":3}").contains("unknown op"));
+    assert!(send("{\"op\":\"alloc\"}").contains("without id"));
+    // A tiny request claiming four billion values must be refused
+    // before any per-value table gets sized from it.
+    let huge = "fn dos values=4000000000 entry=0 params=-\\nbb0: succs=-\\n  op\\nend\\n";
+    assert!(
+        send(&format!("{{\"op\":\"alloc\",\"id\":4,\"fn\":\"{huge}\"}}")).contains("too large")
+    );
+    // The connection still works after all that.
+    let mut client_line =
+        lra_service::proto::alloc_request(9, &lra_ir::textio::print(&ssa_corpus(1)[0]));
+    client_line.push('\n');
+    let mut w = &stream;
+    w.write_all(client_line.as_bytes()).unwrap();
+    w.flush().unwrap();
+    let mut resp = String::new();
+    reader.read_line(&mut resp).unwrap();
+    assert!(
+        resp.contains("\"ok\":true"),
+        "healthy request still served: {resp}"
+    );
+}

@@ -13,6 +13,10 @@
 //!   [`AllocatorRegistry`] that names them all, the end-to-end
 //!   [`AllocationPipeline`], and the parallel [`BatchAllocator`]
 //!   driver that fans whole corpora across a worker pool,
+//! * [`service`] — the long-lived allocation server: a bounded
+//!   request queue with explicit backpressure feeding a persistent
+//!   worker pool, shared result cache, per-server metrics, and a TCP
+//!   JSON-lines front end plus client,
 //! * [`mod@bench`] — benchmark suites and the figure runners.
 //!
 //! The pipeline types are re-exported at the top level: the normal way
@@ -61,10 +65,12 @@ pub use lra_bench as bench;
 pub use lra_core as core;
 pub use lra_graph as graph;
 pub use lra_ir as ir;
+pub use lra_service as service;
 pub use lra_targets as targets;
 
 pub use lra_core::{
     AllocatedFunction, AllocationPipeline, AllocatorRegistry, AllocatorSpec, BatchAllocator,
     BatchItem, BatchReport, BatchSummary, CoalesceMode, PipelineError, Portfolio, PortfolioConfig,
-    PortfolioOutcome, PortfolioSource, SolveBudget,
+    PortfolioOutcome, PortfolioSource, ReportRow, RowStats, SolveBudget,
 };
+pub use lra_service::{AllocationService, ServiceConfig, ServiceMetrics};

@@ -83,6 +83,24 @@ fn portfolio_first_round_cost_never_exceeds_the_cheap_tier() {
     }
 }
 
+/// The size-adaptive default budget (`SolveBudget::scaled_for`) is a
+/// pure function of the instance, so a batch under
+/// `PortfolioConfig::default()` must stay byte-identical at any
+/// worker count — fuel-only determinism extends to adaptive fuel.
+#[test]
+fn adaptive_budget_batches_are_byte_identical_across_thread_counts() {
+    let fs = jit_subset(6);
+    let cfg = PortfolioConfig::default();
+    assert!(cfg.adaptive, "the default budget is size-adaptive");
+    let pipeline = base_pipeline().portfolio(cfg);
+    let seq = BatchAllocator::new(pipeline.clone()).threads(1).run(&fs);
+    let par = BatchAllocator::new(pipeline.clone()).threads(2).run(&fs);
+    let wide = BatchAllocator::new(pipeline).threads(4).run(&fs);
+    assert_eq!(seq.render(), par.render());
+    assert_eq!(seq.render(), wide.render());
+    assert_eq!(seq.summary.failed, 0);
+}
+
 /// The registry name alone (no explicit config) also works end to end
 /// through the pipeline, with the default budget.
 #[test]
