@@ -3,8 +3,10 @@
 //!
 //! [`standard_experiments`] defines the corpora the CLI batches over:
 //! the random lao-kernels SSA suite (`BFPL`), the SPEC JVM98 JIT
-//! methods (non-chordal, `LH`), and the large-method JIT corpus under
-//! the budgeted `Portfolio` policy. `batch` renders each
+//! methods (non-chordal, `LH`), the large-method JIT corpus under
+//! the budgeted `Portfolio` policy, and the 504-method `jit-huge`
+//! scaling corpus (many small methods — the thread-scaling
+//! measurement). `batch` renders each
 //! [`lra_core::BatchReport`] deterministically (timings go to stderr),
 //! so CI can diff two runs — and a `--threads 4` run against the
 //! sequential path — byte for byte. The standard portfolio
@@ -12,9 +14,10 @@
 //! escalation decisions are part of that determinism contract.
 //!
 //! [`record`] reruns the same corpora at several worker counts,
-//! takes per-experiment **median** wall-clock times, and writes the
-//! `BENCH_batch.json` baseline at the repo root so the perf trajectory
-//! is tracked in-tree (see ROADMAP.md: `BENCH_*.json` convention).
+//! takes per-experiment **min and median** wall-clock times, and
+//! writes the `BENCH_batch.json` baseline at the repo root so the
+//! perf trajectory is tracked in-tree (see ROADMAP.md:
+//! `BENCH_*.json` convention).
 
 use crate::suites;
 use lra_core::batch::BatchAllocator;
@@ -143,6 +146,17 @@ fn experiments(
             4,
             suites::jit_large_functions(seed),
         ),
+        // The scaling corpus: 504 mostly-small methods, so per-item
+        // cost is low and the *pool* (queue churn, scratch reuse,
+        // cache sharding) is what the timing measures.
+        experiment(
+            "jit-huge",
+            "Portfolio",
+            InstanceKind::PreciseGraph,
+            6,
+            3,
+            suites::jit_huge_functions(seed),
+        ),
     ]
 }
 
@@ -151,9 +165,13 @@ fn experiments(
 pub struct RecordedTiming {
     /// Worker-pool size of this series.
     pub threads: usize,
+    /// Fastest wall-clock time over the repetitions, in milliseconds
+    /// (the least noise-contaminated run — on a loaded host the min
+    /// tracks the code's real cost better than the median).
+    pub min_ms: f64,
     /// Median wall-clock time over the repetitions, in milliseconds.
     pub median_ms: f64,
-    /// Repetitions the median was taken over.
+    /// Repetitions the statistics were taken over.
     pub samples: usize,
 }
 
@@ -225,6 +243,7 @@ pub fn record(seed: u64, thread_counts: &[usize], reps: usize) -> Vec<RecordedEx
                 samples.sort();
                 timings.push(RecordedTiming {
                     threads,
+                    min_ms: samples[0].as_secs_f64() * 1e3,
                     median_ms: samples[samples.len() / 2].as_secs_f64() * 1e3,
                     samples: samples.len(),
                 });
@@ -266,9 +285,12 @@ pub struct RecordedServiceRun {
     pub p50_us: u64,
     /// 95th-percentile service time over both passes, in microseconds.
     pub p95_us: u64,
-    /// Cache hit rate over both passes (the warm pass should push
-    /// this toward 0.5).
-    pub cache_hit_rate: f64,
+    /// Portfolio-cache hit rate of the cold pass alone (near 0 unless
+    /// the corpus itself repeats instances).
+    pub cache_hit_rate_cold: f64,
+    /// Portfolio-cache hit rate of the warm pass alone (should
+    /// approach 1.0 — every instance was solved in the cold pass).
+    pub cache_hit_rate_warm: f64,
     /// Most requests ever queued at once.
     pub queue_high_water: usize,
 }
@@ -321,8 +343,15 @@ pub fn record_service(seed: u64, worker_counts: &[usize]) -> Vec<RecordedService
                 );
                 elapsed
             };
+            // Snapshot the shared portfolio cache around each pass so
+            // the hit rates are attributable per pass instead of one
+            // blended number (which would sit near 0.5 by
+            // construction and hide a broken warm path).
+            let stats_start = portfolio_cache().stats();
             let cold = pass("cold");
+            let stats_cold = portfolio_cache().stats();
             let warm = pass("warm");
+            let stats_warm = portfolio_cache().stats();
             let metrics = service.shutdown();
             let per_sec = |d: Duration| {
                 if d.as_secs_f64() > 0.0 {
@@ -340,7 +369,8 @@ pub fn record_service(seed: u64, worker_counts: &[usize]) -> Vec<RecordedService
                 throughput_warm: per_sec(warm),
                 p50_us: metrics.p50.as_micros() as u64,
                 p95_us: metrics.p95.as_micros() as u64,
-                cache_hit_rate: metrics.cache_hit_rate(),
+                cache_hit_rate_cold: stats_cold.since(&stats_start).hit_rate(),
+                cache_hit_rate_warm: stats_warm.since(&stats_cold).hit_rate(),
                 queue_high_water: metrics.queue_high_water,
             }
         })
@@ -359,7 +389,7 @@ pub fn to_json(
     let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"lra-bench/batch-v2\",");
+    let _ = writeln!(s, "  \"schema\": \"lra-bench/batch-v3\",");
     let _ = writeln!(s, "  \"seed\": {seed},");
     s.push_str("  \"experiments\": [\n");
     for (i, e) in experiments.iter().enumerate() {
@@ -384,8 +414,8 @@ pub fn to_json(
         for (j, t) in e.timings.iter().enumerate() {
             let _ = write!(
                 s,
-                "        {{\"threads\": {}, \"median_ms\": {:.3}, \"samples\": {}}}",
-                t.threads, t.median_ms, t.samples
+                "        {{\"threads\": {}, \"min_ms\": {:.3}, \"median_ms\": {:.3}, \"samples\": {}}}",
+                t.threads, t.min_ms, t.median_ms, t.samples
             );
             s.push_str(if j + 1 < e.timings.len() { ",\n" } else { "\n" });
         }
@@ -401,7 +431,7 @@ pub fn to_json(
     for (i, r) in service.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\"workers\": {}, \"requests\": {}, \"queue_capacity\": {}, \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"throughput_cold_per_s\": {:.1}, \"throughput_warm_per_s\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"cache_hit_rate\": {:.3}, \"queue_high_water\": {}}}",
+            "    {{\"workers\": {}, \"requests\": {}, \"queue_capacity\": {}, \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"throughput_cold_per_s\": {:.1}, \"throughput_warm_per_s\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"cache_hit_rate_cold\": {:.3}, \"cache_hit_rate_warm\": {:.3}, \"queue_high_water\": {}}}",
             r.workers,
             r.requests,
             SERVICE_RECORD_QUEUE_CAPACITY,
@@ -411,7 +441,8 @@ pub fn to_json(
             r.throughput_warm,
             r.p50_us,
             r.p95_us,
-            r.cache_hit_rate,
+            r.cache_hit_rate_cold,
+            r.cache_hit_rate_warm,
             r.queue_high_water
         );
         s.push_str(if i + 1 < service.len() { ",\n" } else { "\n" });
@@ -425,15 +456,20 @@ mod tests {
     use super::*;
 
     #[test]
-    fn standard_experiments_have_all_three_corpora() {
+    fn standard_experiments_have_all_four_corpora() {
         let exps = standard_experiments(3);
-        assert_eq!(exps.len(), 3);
+        assert_eq!(exps.len(), 4);
         assert_eq!(exps[0].name, "lao-kernels/BFPL/R4");
         assert_eq!(exps[1].name, "specjvm98/LH/R6");
         assert_eq!(exps[2].name, "jit-large/Portfolio/R6");
+        assert_eq!(exps[3].name, "jit-huge/Portfolio/R6");
         for exp in &exps {
             assert!(!exp.functions.is_empty());
         }
+        assert!(
+            exps[3].functions.len() >= 500,
+            "the scaling corpus must be large enough to amortise pool startup"
+        );
     }
 
     #[test]
@@ -450,18 +486,20 @@ mod tests {
         // CI while still driving record()'s sample/median/reference
         // loop end to end on the real corpora.
         let recorded = record(3, &[1, 2], 1);
-        assert_eq!(recorded.len(), 3);
+        assert_eq!(recorded.len(), 4);
         for e in &recorded {
             assert_eq!(e.timings.len(), 2);
             assert_eq!(e.timings[0].threads, 1);
             assert_eq!(e.timings[1].threads, 2);
             assert!(e.timings.iter().all(|t| t.samples == 1));
             assert!(e.timings.iter().all(|t| t.median_ms > 0.0));
+            assert!(e.timings.iter().all(|t| t.min_ms <= t.median_ms));
             assert!(e.functions > 0);
         }
 
         let json = to_json(3, &recorded, &[]);
-        assert!(json.contains("\"schema\": \"lra-bench/batch-v2\""));
+        assert!(json.contains("\"schema\": \"lra-bench/batch-v3\""));
+        assert!(json.contains("\"min_ms\""));
         assert!(json.contains("\"threads\": 1"));
         assert!(json.contains("\"threads\": 2"));
         // Balanced braces/brackets — cheap structural sanity check.
@@ -484,6 +522,7 @@ mod tests {
             spill_cost_quartiles: None,
             timings: vec![RecordedTiming {
                 threads: 1,
+                min_ms: 1.0,
                 median_ms: 1.0,
                 samples: 1,
             }],
@@ -520,8 +559,15 @@ mod tests {
         assert!(r.throughput_cold > 0.0 && r.throughput_warm > 0.0);
         assert!(r.p95_us >= r.p50_us);
         assert!(
-            r.cache_hit_rate > 0.0,
-            "the warm pass must hit the shared cache"
+            r.cache_hit_rate_warm > 0.5,
+            "the warm pass must hit the shared cache (got {:.3})",
+            r.cache_hit_rate_warm
+        );
+        assert!(
+            r.cache_hit_rate_warm > r.cache_hit_rate_cold,
+            "warm pass ({:.3}) should out-hit the cold pass ({:.3})",
+            r.cache_hit_rate_warm,
+            r.cache_hit_rate_cold
         );
         assert!(r.queue_high_water <= SERVICE_RECORD_QUEUE_CAPACITY);
         let json = to_json(3, &[], &runs);

@@ -364,6 +364,53 @@ pub fn jit_large_functions(seed: u64) -> Vec<lra_ir::Function> {
     })
 }
 
+/// Methods per program in the [`jit_huge_functions`] corpus
+/// (9 programs × 56 = 504 functions).
+pub const JIT_HUGE_PER_PROGRAM: u64 = 56;
+
+/// The IR generator behind [`jit_huge_functions`] — one non-SSA
+/// method per `(program, k)` key. Same JIT-realistic size skew as
+/// [`jit_large`] (mostly small methods, a fat tail) but with the
+/// classes shifted down so a 500-method sweep stays cheap enough to
+/// repeat at several thread counts: the corpus is built to measure
+/// *scheduling* (per-item cost variance, queue churn, scratch reuse),
+/// not per-method solver depth.
+fn jit_huge_ir(seed: u64, program: &'static str, k: u64) -> lra_ir::Function {
+    // `1000 + k` keeps this sub-seed stream disjoint from both the
+    // JVM98 (`k`) and jit-large (`100 + k`) generators, which share
+    // program names.
+    let mut rng = mix(seed, program, 1000 + k);
+    let size_class = rng.gen_range(0..100);
+    let vars = if size_class < 70 {
+        rng.gen_range(10..=28) // typical bytecode method
+    } else if size_class < 95 {
+        rng.gen_range(28..=60) // hot inlined region
+    } else {
+        rng.gen_range(60..=110) // occasional monster
+    };
+    let cfg = JitConfig {
+        vars,
+        blocks: (vars / 6).max(6),
+        instrs_per_block: rng.gen_range(4..=7),
+        cross_percent: 50,
+        back_percent: 35,
+        call_percent: 5,
+    };
+    random_jit_function(&mut rng, &cfg, format!("{program}::h{k}"))
+}
+
+/// The scaling corpus: 504 seeded non-SSA JIT methods
+/// ([`JIT_HUGE_PER_PROGRAM`] per [`JIT_LARGE_PROGRAMS`] entry) with
+/// the `jit_huge_ir` size skew. Large enough that worker-pool
+/// overheads (queue contention, per-function buffer churn) dominate
+/// any fixed setup cost — the corpus the thread-scaling rows of
+/// `BENCH_batch.json` are recorded on.
+pub fn jit_huge_functions(seed: u64) -> Vec<lra_ir::Function> {
+    generate_suite(&JIT_LARGE_PROGRAMS, JIT_HUGE_PER_PROGRAM, |program, k| {
+        jit_huge_ir(seed, program, k)
+    })
+}
+
 /// Shape summary of a workload set, for calibration checks and the
 /// `stats` CLI command.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -501,6 +548,27 @@ mod tests {
         assert_eq!(a, b);
         let c = jit_large_functions(8);
         assert!(a != c, "different seeds should produce different corpora");
+    }
+
+    #[test]
+    fn jit_huge_is_big_skewed_and_deterministic() {
+        let fs = jit_huge_functions(5);
+        assert!(fs.len() >= 500, "scaling corpus too small ({})", fs.len());
+        assert_eq!(fs.len() as u64, 9 * JIT_HUGE_PER_PROGRAM);
+        let mut sizes: Vec<u32> = fs.iter().map(|f| f.value_count).collect();
+        sizes.sort_unstable();
+        let median = sizes[sizes.len() / 2];
+        let max = *sizes.last().unwrap();
+        assert!(
+            median <= 60,
+            "bulk of the corpus should be small methods (median {median})"
+        );
+        assert!(
+            max >= 60,
+            "the skew needs a fat tail of big methods (max {max})"
+        );
+        assert_eq!(fs, jit_huge_functions(5), "must be seed-deterministic");
+        assert!(fs != jit_huge_functions(6));
     }
 
     #[test]

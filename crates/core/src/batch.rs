@@ -47,10 +47,34 @@
 //! ```
 
 use crate::driver::{AllocatedFunction, AllocationPipeline, PipelineError};
-use lra_ir::Function;
+use lra_ir::{AnalysisScratch, Function};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Per-worker reusable buffers for the allocation pipeline.
+///
+/// Each batch worker (and each service worker) owns one
+/// `WorkerScratch` for its whole lifetime and threads it through every
+/// [`allocate_item_with`] call, so the liveness worklists, local
+/// def/use tables and interval endpoint arrays inside
+/// [`AnalysisScratch`] are allocated once per worker instead of once
+/// per function per round. Every consumer resets the buffers to the
+/// function at hand before reading them, so reuse never changes output
+/// bits — reports stay byte-identical to fresh-scratch runs (a
+/// property test pins this).
+#[derive(Default)]
+pub struct WorkerScratch {
+    /// Recycled liveness/interference buffers (see [`AnalysisScratch`]).
+    pub analysis: AnalysisScratch,
+}
+
+impl WorkerScratch {
+    /// Empty scratch; buffers grow to fit the first functions they see.
+    pub fn new() -> Self {
+        WorkerScratch::default()
+    }
+}
 
 /// Process-wide default worker count override (0 = resolve
 /// automatically). Set by CLI `--threads` flags so deep callers
@@ -101,10 +125,33 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
+    parallel_map_with(items, threads, || (), |(), i, t| f(i, t))
+}
+
+/// [`parallel_map`] with per-worker state: `init` runs once on each
+/// worker thread (and once inline for the sequential path) and the
+/// resulting value is passed by `&mut` to every `f` call that worker
+/// executes. This is how batch workers keep one [`WorkerScratch`]
+/// alive across all the functions they process — state reuse without
+/// sharing, so determinism is untouched (output order is still
+/// reassembled by input index and `f` still sees every item exactly
+/// once).
+pub fn parallel_map_with<T, U, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> U + Sync,
+{
     let n = items.len();
     let threads = threads.max(1).min(n.max(1));
     if threads == 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
     }
 
     // Chunks small enough to balance uneven per-item costs, large
@@ -116,6 +163,7 @@ where
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
+                let mut state = init();
                 let mut local: Vec<(usize, U)> = Vec::new();
                 loop {
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
@@ -124,7 +172,7 @@ where
                     }
                     let end = (start + chunk).min(n);
                     for (i, item) in items.iter().enumerate().take(end).skip(start) {
-                        local.push((i, f(i, item)));
+                        local.push((i, f(&mut state, i, item)));
                     }
                 }
                 collected
@@ -202,7 +250,9 @@ impl BatchAllocator {
     pub fn run_refs(&self, functions: &[&Function]) -> BatchReport {
         let threads = self.effective_threads(functions.len());
         let start = Instant::now();
-        let items = parallel_map(functions, threads, |_, f| allocate_item(&self.pipeline, f));
+        let items = parallel_map_with(functions, threads, WorkerScratch::new, |scratch, _, f| {
+            allocate_item_with(&self.pipeline, f, scratch)
+        });
         let elapsed = start.elapsed();
         let summary = BatchSummary::from_items(&items);
         BatchReport {
@@ -221,9 +271,27 @@ impl BatchAllocator {
 /// (the `lra-service` worker pool) produce items byte-compatible with
 /// a batch run.
 pub fn allocate_item(pipeline: &AllocationPipeline, f: &Function) -> BatchItem {
+    allocate_item_with(pipeline, f, &mut WorkerScratch::new())
+}
+
+/// [`allocate_item`] with a caller-owned [`WorkerScratch`] — the
+/// variant long-lived workers call so analysis buffers are reused
+/// across functions. Identical output to a fresh scratch.
+///
+/// The scratch crossing the `catch_unwind` boundary is sound: every
+/// analysis entry point resets its buffers to the function at hand
+/// before reading them, so a panic that leaves the scratch mid-write
+/// cannot leak state into the next item's result.
+pub fn allocate_item_with(
+    pipeline: &AllocationPipeline,
+    f: &Function,
+    scratch: &mut WorkerScratch,
+) -> BatchItem {
     let t0 = Instant::now();
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pipeline.run(f)))
-        .unwrap_or_else(|payload| Err(PipelineError::Panic(panic_message(&payload))));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pipeline.run_with(f, &mut scratch.analysis)
+    }))
+    .unwrap_or_else(|payload| Err(PipelineError::Panic(panic_message(&payload))));
     BatchItem {
         function: f.name.clone(),
         outcome,
@@ -530,6 +598,76 @@ mod tests {
         let items: [u32; 0] = [];
         let out = parallel_map(&items, 4, |_, &x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_map_with_runs_init_once_per_worker() {
+        let items: Vec<usize> = (0..64).collect();
+        let inits = AtomicUsize::new(0);
+        let out = parallel_map_with(
+            &items,
+            4,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |count, _, &x| {
+                *count += 1;
+                (x, *count)
+            },
+        );
+        // Every item was mapped exactly once, in order, and state was
+        // created per worker (not per item): the running count each
+        // item observed is at least 1 and never exceeds the item total.
+        assert_eq!(out.len(), 64);
+        assert!(out.iter().enumerate().all(|(i, &(x, _))| x == i));
+        assert!(out.iter().all(|&(_, c)| (1..=64).contains(&c)));
+        let inits = inits.load(Ordering::Relaxed);
+        assert!(inits <= 4, "init ran {inits} times for 4 workers");
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scratch_byte_for_byte() {
+        // One WorkerScratch threaded through functions of very
+        // different sizes must produce exactly what fresh scratch does.
+        let mut fs = corpus(6);
+        fs.insert(2, {
+            let mut b = FunctionBuilder::new("tiny");
+            let e = b.entry_block();
+            let x = b.op(e, &[]);
+            b.op(e, &[x]);
+            b.finish()
+        });
+        let p = pipeline();
+        let mut scratch = WorkerScratch::new();
+        for f in &fs {
+            let reused = allocate_item_with(&p, f, &mut scratch);
+            let fresh = allocate_item(&p, f);
+            assert_eq!(reused.row(), fresh.row());
+        }
+    }
+
+    #[test]
+    fn scratch_survives_a_caught_panic_without_contaminating_results() {
+        use lra_ir::cfg::{Block, BlockId};
+        let mut blocks = vec![Block::default()];
+        blocks[0].succs = vec![BlockId(7)];
+        let broken = Function {
+            name: "broken".into(),
+            blocks,
+            entry: BlockId(0),
+            value_count: 1,
+            params: vec![],
+        };
+        let p = pipeline();
+        let fs = corpus(2);
+        let mut scratch = WorkerScratch::new();
+        let before = allocate_item_with(&p, &fs[0], &mut scratch);
+        let bad = allocate_item_with(&p, &broken, &mut scratch);
+        assert!(matches!(bad.outcome, Err(PipelineError::Panic(_))));
+        let after = allocate_item_with(&p, &fs[1], &mut scratch);
+        assert_eq!(before.row(), allocate_item(&p, &fs[0]).row());
+        assert_eq!(after.row(), allocate_item(&p, &fs[1]).row());
     }
 
     #[test]

@@ -15,12 +15,17 @@
 //! can differ across thread counts and runs without changing a single
 //! output byte.
 //!
-//! The table is bounded: when `capacity` entries are reached, the next
-//! insert clears it wholesale (no LRU bookkeeping on the hot path;
-//! correctness does not depend on what stays cached).
+//! The table is **sharded and lossy**: the key hash selects one of
+//! [`ResultCache::shard_count`] independently locked shards, and
+//! within a shard a fixed slot. Inserting into an occupied slot
+//! overwrites it (one eviction), so there is no global lock, no
+//! eviction bookkeeping and no rehashing on the hot path — concurrent
+//! workers only contend when their keys land in the same shard.
+//! Correctness never depends on what stays cached, only future hit
+//! rates do, which is exactly the trade a lossy cache makes.
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -80,30 +85,35 @@ impl InstanceKey {
     }
 }
 
-/// A bounded, thread-safe memo table from [`InstanceKey`]s to
+/// Shards a [`ResultCache`] spreads its slots over. Independent locks,
+/// so up to this many workers insert/look up without contending.
+const CACHE_SHARDS: usize = 16;
+
+/// A bounded, thread-safe, sharded memo table from [`InstanceKey`]s to
 /// clonable results. See the [module docs](self).
 pub struct ResultCache<V> {
-    inner: Mutex<Inner<V>>,
-    capacity: usize,
+    shards: Vec<Mutex<Shard<V>>>,
+    slots_per_shard: usize,
 }
 
-struct Inner<V> {
-    map: HashMap<InstanceKey, V>,
+struct Shard<V> {
+    slots: Vec<Option<(InstanceKey, V)>>,
     stats: CacheStats,
 }
 
 /// Cumulative [`ResultCache`] counters. Hits and misses survive
-/// clear-on-full evictions (the counters describe the cache's whole
-/// life, not the current generation of entries); `evictions` counts
-/// every entry dropped by a wholesale clear, so a long-running service
-/// can tell "cold cache" from "thrashing cache" in its metrics.
+/// evictions (the counters describe the cache's whole life, not the
+/// current generation of entries); `evictions` counts every entry
+/// overwritten by a slot collision or dropped by an explicit
+/// [`ResultCache::clear`], so a long-running service can tell "cold
+/// cache" from "thrashing cache" in its metrics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups that found a memoized result.
     pub hits: u64,
     /// Lookups that found nothing.
     pub misses: u64,
-    /// Entries dropped by clear-on-full (and explicit
+    /// Entries overwritten by slot collisions (and dropped by explicit
     /// [`ResultCache::clear`]) since construction.
     pub evictions: u64,
 }
@@ -129,66 +139,124 @@ impl CacheStats {
             evictions: self.evictions.saturating_sub(baseline.evictions),
         }
     }
+
+    /// Component-wise sum — how per-shard counters fold into the
+    /// aggregate [`ResultCache::stats`].
+    pub fn merge(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+        }
+    }
+}
+
+/// One deterministic hash per key, reused for both the shard pick and
+/// the slot pick (disjoint bit regions so they don't correlate).
+/// `DefaultHasher::new()` is fixed-keyed — no per-process randomness —
+/// so slot placement is reproducible run to run.
+fn key_hash(key: &InstanceKey) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
 }
 
 impl<V: Clone> ResultCache<V> {
-    /// An empty cache holding at most `capacity` entries.
+    /// An empty cache holding at most `capacity` entries, spread over
+    /// up to `CACHE_SHARDS` (16) shards of fixed-size slot arrays.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "a zero-capacity cache cannot hold anything");
+        let shard_count = CACHE_SHARDS.min(capacity);
+        let slots_per_shard = capacity.div_ceil(shard_count);
+        let shards = (0..shard_count)
+            .map(|_| {
+                Mutex::new(Shard {
+                    slots: vec![None; slots_per_shard],
+                    stats: CacheStats::default(),
+                })
+            })
+            .collect();
         ResultCache {
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                stats: CacheStats::default(),
-            }),
-            capacity,
+            shards,
+            slots_per_shard,
         }
     }
 
-    /// Looks `key` up, counting a hit or miss.
+    /// Shards this cache spreads its slots over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total slots across all shards (≥ the requested capacity).
+    pub fn capacity(&self) -> usize {
+        self.shards.len() * self.slots_per_shard
+    }
+
+    /// The shard and in-shard slot a key lives in. The upper hash bits
+    /// pick the shard, the lower bits the slot, so two keys sharing a
+    /// slot index still usually land in different shards.
+    fn place(&self, key: &InstanceKey) -> (usize, usize) {
+        let h = key_hash(key);
+        let shard = ((h >> 48) as usize) % self.shards.len();
+        let slot = (h as usize) % self.slots_per_shard;
+        (shard, slot)
+    }
+
+    /// Looks `key` up, counting a hit or miss on the key's shard.
     pub fn get(&self, key: &InstanceKey) -> Option<V> {
-        let mut inner = self.inner.lock().expect("cache lock");
-        match inner.map.get(key).cloned() {
-            Some(v) => {
-                inner.stats.hits += 1;
+        let (si, slot) = self.place(key);
+        let mut shard = self.shards[si].lock().expect("cache shard lock");
+        match &shard.slots[slot] {
+            Some((k, v)) if k == key => {
+                let v = v.clone();
+                shard.stats.hits += 1;
                 Some(v)
             }
-            None => {
-                inner.stats.misses += 1;
+            _ => {
+                shard.stats.misses += 1;
                 None
             }
         }
     }
 
-    /// Memoizes `value` under `key`. A full table is cleared wholesale
-    /// first (results are exact-keyed, so eviction never affects
-    /// output bytes — only future hit rates); the dropped entries are
-    /// added to [`CacheStats::evictions`] while the hit/miss counters
-    /// keep accumulating across the clear.
+    /// Memoizes `value` under `key`. The key's slot is overwritten
+    /// unconditionally; displacing a *different* resident key counts
+    /// one eviction (results are exact-keyed, so eviction never
+    /// affects output bytes — only future hit rates).
     pub fn insert(&self, key: InstanceKey, value: V) {
-        let mut inner = self.inner.lock().expect("cache lock");
-        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
-            inner.stats.evictions += inner.map.len() as u64;
-            inner.map.clear();
+        let (si, slot) = self.place(&key);
+        let mut shard = self.shards[si].lock().expect("cache shard lock");
+        if matches!(&shard.slots[slot], Some((k, _)) if k != &key) {
+            shard.stats.evictions += 1;
         }
-        inner.map.insert(key, value);
+        shard.slots[slot] = Some((key, value));
     }
 
     /// Drops every memoized entry (counted as evictions), keeping the
     /// hit/miss history. Benchmarks use this to measure a cache-cold
     /// pass without restarting the process.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("cache lock");
-        inner.stats.evictions += inner.map.len() as u64;
-        inner.map.clear();
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard lock");
+            let occupied = shard.slots.iter().filter(|s| s.is_some()).count();
+            shard.stats.evictions += occupied as u64;
+            shard.slots.iter_mut().for_each(|s| *s = None);
+        }
     }
 
     /// Entries currently memoized.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache lock").map.len()
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().expect("cache shard lock");
+                shard.slots.iter().filter(|s| s.is_some()).count()
+            })
+            .sum()
     }
 
     /// `true` when nothing is memoized.
@@ -197,14 +265,27 @@ impl<V: Clone> ResultCache<V> {
     }
 
     /// The cumulative counters since construction (or the last
-    /// [`ResultCache::reset_stats`]).
+    /// [`ResultCache::reset_stats`]): the per-shard counters summed.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().expect("cache lock").stats
+        self.shard_stats()
+            .iter()
+            .fold(CacheStats::default(), |acc, s| acc.merge(s))
+    }
+
+    /// One [`CacheStats`] per shard, in shard order. The aggregate
+    /// [`ResultCache::stats`] is exactly their sum.
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").stats)
+            .collect()
     }
 
     /// Zeroes every counter (tests and benchmark resets).
     pub fn reset_stats(&self) {
-        self.inner.lock().expect("cache lock").stats = CacheStats::default();
+        for shard in &self.shards {
+            shard.lock().expect("cache shard lock").stats = CacheStats::default();
+        }
     }
 }
 
@@ -216,6 +297,10 @@ mod tests {
     fn inst(edges: &[(usize, usize)], weights: Vec<Cost>) -> Instance {
         let g = Graph::from_edges(weights.len(), edges);
         Instance::from_weighted_graph(WeightedGraph::new(g, weights))
+    }
+
+    fn key_for(weight: Cost) -> InstanceKey {
+        InstanceKey::new(&inst(&[], vec![weight]), 1, "LH", 0, None)
     }
 
     #[test]
@@ -285,51 +370,124 @@ mod tests {
     }
 
     #[test]
-    fn full_cache_clears_wholesale_and_keeps_working() {
-        let cache: ResultCache<usize> = ResultCache::new(2);
-        let keys: Vec<InstanceKey> = (0..3)
-            .map(|w| InstanceKey::new(&inst(&[], vec![w as Cost]), 1, "LH", 0, None))
-            .collect();
-        cache.insert(keys[0].clone(), 0);
-        cache.insert(keys[1].clone(), 1);
-        assert_eq!(cache.len(), 2);
-        cache.insert(keys[2].clone(), 2);
-        assert_eq!(cache.len(), 1, "full table cleared before insert");
-        assert_eq!(cache.get(&keys[2]), Some(2));
-        // Re-inserting an existing key never triggers the clear.
-        cache.insert(keys[2].clone(), 3);
-        assert_eq!(cache.get(&keys[2]), Some(3));
+    fn colliding_insert_overwrites_its_slot_and_counts_one_eviction() {
+        // One shard, one slot: every key collides, so each distinct
+        // insert displaces the resident entry in place.
+        let cache: ResultCache<usize> = ResultCache::new(1);
+        assert_eq!(cache.shard_count(), 1);
+        assert_eq!(cache.capacity(), 1);
+        let (a, b) = (key_for(1), key_for(2));
+        cache.insert(a.clone(), 10);
+        assert_eq!(cache.get(&a), Some(10));
+        cache.insert(b.clone(), 20);
+        assert_eq!(cache.len(), 1, "a full slot is overwritten, not grown");
+        assert_eq!(cache.get(&b), Some(20));
+        assert_eq!(cache.get(&a), None, "displaced key is gone");
+        // Re-inserting the resident key is an update, not an eviction.
+        cache.insert(b.clone(), 21);
+        assert_eq!(cache.get(&b), Some(21));
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 1);
     }
 
     #[test]
-    fn stats_survive_clear_on_full_and_count_evictions() {
-        let cache: ResultCache<usize> = ResultCache::new(2);
-        let keys: Vec<InstanceKey> = (0..3)
-            .map(|w| InstanceKey::new(&inst(&[], vec![w as Cost + 50]), 1, "LH", 0, None))
-            .collect();
-        cache.insert(keys[0].clone(), 0);
-        assert_eq!(cache.get(&keys[0]), Some(0)); // 1 hit
-        assert_eq!(cache.get(&keys[1]), None); // 1 miss
-        cache.insert(keys[1].clone(), 1);
-        cache.insert(keys[2].clone(), 2); // clear-on-full: 2 entries evicted
+    fn stats_survive_evictions_and_explicit_clear() {
+        let cache: ResultCache<usize> = ResultCache::new(1);
+        let (a, b) = (key_for(50), key_for(51));
+        cache.insert(a.clone(), 0);
+        assert_eq!(cache.get(&a), Some(0)); // 1 hit
+        assert_eq!(cache.get(&b), None); // 1 miss
+        cache.insert(b.clone(), 1); // displaces `a`: 1 eviction
         let s = cache.stats();
         assert_eq!(
             s,
             CacheStats {
                 hits: 1,
                 misses: 1,
-                evictions: 2
+                evictions: 1
             },
-            "hit/miss history must survive the wholesale clear"
+            "hit/miss history must survive the eviction"
         );
         assert!(s.hit_rate() > 0.49 && s.hit_rate() < 0.51);
         // An explicit clear evicts the remaining entry too.
         cache.clear();
-        assert_eq!(cache.stats().evictions, 3);
+        assert_eq!(cache.stats().evictions, 2);
         assert!(cache.is_empty());
         let delta = cache.stats().since(&s);
         assert_eq!(delta.evictions, 1);
         assert_eq!(delta.hits + delta.misses, 0);
+    }
+
+    #[test]
+    fn per_shard_stats_sum_to_the_aggregate() {
+        let cache: ResultCache<usize> = ResultCache::new(64);
+        assert_eq!(cache.shard_count(), 16);
+        let keys: Vec<InstanceKey> = (0..40).map(|w| key_for(w as Cost)).collect();
+        for (i, k) in keys.iter().enumerate() {
+            let _ = cache.get(k); // miss
+            cache.insert(k.clone(), i);
+        }
+        for k in &keys {
+            let _ = cache.get(k); // hit unless a collision displaced it
+        }
+        let per_shard = cache.shard_stats();
+        assert_eq!(per_shard.len(), cache.shard_count());
+        let summed = per_shard
+            .iter()
+            .fold(CacheStats::default(), |acc, s| acc.merge(s));
+        assert_eq!(summed, cache.stats());
+        assert_eq!(summed.hits + summed.misses, 80, "every lookup was counted");
+        assert!(
+            per_shard.iter().filter(|s| s.hits + s.misses > 0).count() > 1,
+            "40 distinct keys must spread over more than one shard"
+        );
+    }
+
+    #[test]
+    fn concurrent_hammering_preserves_get_insert_coherence() {
+        use std::sync::Arc;
+        // N threads racing gets and inserts over an overlapping key
+        // space: every hit must return the value inserted under that
+        // exact key (the slot holds the key alongside the value, so a
+        // racing overwrite can only yield a miss, never a wrong value).
+        let cache: Arc<ResultCache<u64>> = Arc::new(ResultCache::new(32));
+        let keys: Arc<Vec<InstanceKey>> = Arc::new((0..48).map(|w| key_for(w as Cost)).collect());
+        let threads = 4;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                let keys = Arc::clone(&keys);
+                std::thread::spawn(move || {
+                    for round in 0..200u64 {
+                        for (i, k) in keys.iter().enumerate() {
+                            if (i + t + round as usize).is_multiple_of(3) {
+                                cache.insert(k.clone(), i as u64 * 1000);
+                            } else if let Some(v) = cache.get(k) {
+                                assert_eq!(
+                                    v,
+                                    i as u64 * 1000,
+                                    "hit on key {i} returned another key's value"
+                                );
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("hammer thread panicked");
+        }
+        let s = cache.stats();
+        assert!(s.hits > 0 && s.misses > 0);
+        assert_eq!(
+            s,
+            cache
+                .shard_stats()
+                .iter()
+                .fold(CacheStats::default(), |acc, x| acc.merge(x))
+        );
     }
 
     #[test]

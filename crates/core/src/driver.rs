@@ -52,14 +52,14 @@
 
 use crate::assign::Assignment;
 use crate::coalesce;
-use crate::pipeline::{build_instance_with, copy_affinities_with, InstanceKind};
+use crate::pipeline::{build_instance_with_in, copy_affinities_with, InstanceKind};
 use crate::portfolio::{Portfolio, PortfolioConfig};
 use crate::problem::{Allocator, Instance};
 use crate::registry::AllocatorRegistry;
 use crate::verify::{self, Feasibility};
 use lra_graph::BitSet;
 use lra_ir::analysis;
-use lra_ir::{spill_code, Function, FunctionAnalysis};
+use lra_ir::{spill_code, AnalysisScratch, Function, FunctionAnalysis};
 use lra_targets::Target;
 
 /// Whether (and how) the pipeline coalesces copy-related variables
@@ -224,6 +224,22 @@ impl AllocationPipeline {
 
     /// Runs the full pipeline on `f`.
     pub fn run(&self, f: &Function) -> Result<AllocatedFunction, PipelineError> {
+        self.run_with(f, &mut AnalysisScratch::new())
+    }
+
+    /// [`AllocationPipeline::run`] with caller-provided analysis
+    /// scratch: identical output, but a long-lived worker recycling
+    /// one [`AnalysisScratch`] across functions skips the per-function
+    /// (and per-round) allocation of the liveness transfer sets, the
+    /// dataflow worklist, the pressure/interference sweep sets and the
+    /// interval endpoint arrays. Every buffer is reset to the function
+    /// at hand before use, so reuse across arbitrary functions — even
+    /// after a caught panic — cannot change an output bit.
+    pub fn run_with(
+        &self,
+        f: &Function,
+        scratch: &mut AnalysisScratch,
+    ) -> Result<AllocatedFunction, PipelineError> {
         let spec = AllocatorRegistry::spec(&self.allocator)
             .ok_or_else(|| PipelineError::UnknownAllocator(self.allocator.clone()))?;
         if spec.needs_intervals && self.kind != InstanceKind::LinearIntervals {
@@ -245,7 +261,7 @@ impl AllocationPipeline {
         // construction, spill costs, the coalescing affinities and the
         // stall check below all borrow it — no second liveness run per
         // round anywhere.
-        let mut func_analysis = FunctionAnalysis::compute(f);
+        let mut func_analysis = FunctionAnalysis::compute_in(f, scratch);
         let max_live_before = func_analysis.liveness.max_live;
 
         let mut func = f.clone();
@@ -260,7 +276,8 @@ impl AllocationPipeline {
 
         let (assignment, verdict) = loop {
             rounds += 1;
-            let inst = build_instance_with(&func, &func_analysis, &self.target, self.kind);
+            let inst =
+                build_instance_with_in(&func, &func_analysis, &self.target, self.kind, scratch);
             if spec.needs_chordal && !inst.is_chordal() {
                 return Err(PipelineError::NeedsChordal(spec.name));
             }
@@ -295,9 +312,9 @@ impl AllocationPipeline {
             spilled_values.extend(round.spilled.iter().copied());
             func = rewrite.function;
             func_analysis = if force_full {
-                FunctionAnalysis::compute(&func)
+                FunctionAnalysis::compute_in(&func, scratch)
             } else {
-                func_analysis.after_spill(&func, &rewrite.delta)
+                func_analysis.after_spill_in(&func, &rewrite.delta, scratch)
             };
 
             // Stop when out of budget, or when spilling stopped lowering

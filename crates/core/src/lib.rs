@@ -66,7 +66,9 @@ pub mod problem;
 pub mod registry;
 pub mod verify;
 
-pub use batch::{BatchAllocator, BatchItem, BatchReport, BatchSummary, ReportRow, RowStats};
+pub use batch::{
+    BatchAllocator, BatchItem, BatchReport, BatchSummary, ReportRow, RowStats, WorkerScratch,
+};
 pub use cluster::LayeredHeuristic;
 pub use driver::{AllocatedFunction, AllocationPipeline, CoalesceMode, PipelineError};
 pub use layered::Layered;

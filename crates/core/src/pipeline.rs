@@ -14,7 +14,7 @@
 use crate::problem::Instance;
 use lra_ir::dom::DomTree;
 use lra_ir::loops::LoopInfo;
-use lra_ir::{interference, spill_cost, Function, FunctionAnalysis};
+use lra_ir::{interference, spill_cost, AnalysisScratch, Function, FunctionAnalysis};
 use lra_targets::Target;
 
 /// Which view of the function's live ranges to build.
@@ -46,16 +46,28 @@ pub fn build_instance_with(
     target: &Target,
     kind: InstanceKind,
 ) -> Instance {
+    build_instance_with_in(f, analysis, target, kind, &mut AnalysisScratch::new())
+}
+
+/// [`build_instance_with`] with caller-provided analysis scratch (see
+/// [`AnalysisScratch`]); identical output, recycled sweep buffers.
+pub fn build_instance_with_in(
+    f: &Function,
+    analysis: &FunctionAnalysis,
+    target: &Target,
+    kind: InstanceKind,
+    scratch: &mut AnalysisScratch,
+) -> Instance {
     let live = &analysis.liveness;
     let costs = spill_cost::spill_costs(f, live, &analysis.loops, target);
 
     match kind {
         InstanceKind::PreciseGraph => {
-            let g = interference::interference_graph(f, live);
+            let g = interference::interference_graph_in(f, live, scratch);
             Instance::from_weighted_graph(lra_graph::WeightedGraph::new(g, costs))
         }
         InstanceKind::LinearIntervals => {
-            let ivs = interference::live_intervals(f, live, &analysis.linearization);
+            let ivs = interference::live_intervals_in(f, live, &analysis.linearization, scratch);
             Instance::from_intervals(ivs, costs)
         }
     }

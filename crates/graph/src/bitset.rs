@@ -156,6 +156,16 @@ impl BitSet {
         }
     }
 
+    /// Empties the set and re-sizes it to exactly `capacity` keys,
+    /// reusing the word allocation. Unlike [`BitSet::grow`] this may
+    /// shrink — it is the reset scratch buffers use when the same set
+    /// is recycled across differently-sized functions.
+    pub fn reset(&mut self, capacity: usize) {
+        self.words.clear();
+        self.words.resize(capacity.div_ceil(64), 0);
+        self.capacity = capacity;
+    }
+
     /// Returns `true` if `self` and `other` share no key.
     pub fn is_disjoint(&self, other: &BitSet) -> bool {
         self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)

@@ -22,6 +22,7 @@ use crate::dom::DomTree;
 use crate::interference::{self, Linearization};
 use crate::liveness::{self, Liveness};
 use crate::loops::LoopInfo;
+use crate::scratch::AnalysisScratch;
 use crate::spill_code::SpillDelta;
 
 /// Everything one allocation round needs to know about a function:
@@ -41,7 +42,13 @@ impl FunctionAnalysis {
     /// Analyses `f` from scratch: liveness, dominators → loops, and
     /// the linearisation.
     pub fn compute(f: &Function) -> Self {
-        let liveness = liveness::analyze(f);
+        Self::compute_in(f, &mut AnalysisScratch::new())
+    }
+
+    /// [`FunctionAnalysis::compute`] with caller-provided scratch
+    /// buffers (see [`AnalysisScratch`]); identical output.
+    pub fn compute_in(f: &Function, scratch: &mut AnalysisScratch) -> Self {
+        let liveness = liveness::analyze_in(f, scratch);
         let dom = DomTree::compute(f);
         let loops = LoopInfo::compute(f, &dom);
         let linearization = interference::linearize(f);
@@ -62,12 +69,24 @@ impl FunctionAnalysis {
     /// re-laid-out over the same block order because instruction counts
     /// shifted. The result equals [`FunctionAnalysis::compute`]`(f)`.
     pub fn after_spill(&self, f: &Function, delta: &SpillDelta) -> Self {
+        self.after_spill_in(f, delta, &mut AnalysisScratch::new())
+    }
+
+    /// [`FunctionAnalysis::after_spill`] with caller-provided scratch
+    /// buffers; identical output.
+    pub fn after_spill_in(
+        &self,
+        f: &Function,
+        delta: &SpillDelta,
+        scratch: &mut AnalysisScratch,
+    ) -> Self {
         FunctionAnalysis {
-            liveness: liveness::analyze_incremental(
+            liveness: liveness::analyze_incremental_in(
                 f,
                 &self.liveness,
                 &delta.dirty_blocks,
                 &delta.changed_values,
+                scratch,
             ),
             loops: self.loops.clone(),
             linearization: interference::linearize(f),

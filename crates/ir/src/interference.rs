@@ -18,6 +18,7 @@
 
 use crate::cfg::{Function, Opcode};
 use crate::liveness::Liveness;
+use crate::scratch::AnalysisScratch;
 use lra_graph::{BitSet, Graph, Interval};
 
 /// Builds the precise interference graph of `f` (one vertex per value).
@@ -33,9 +34,21 @@ use lra_graph::{BitSet, Graph, Interval};
 /// mirrors the edges and derives the sorted adjacency vectors in a
 /// single final pass.
 pub fn interference_graph(f: &Function, live: &Liveness) -> Graph {
+    interference_graph_in(f, live, &mut AnalysisScratch::new())
+}
+
+/// [`interference_graph`] with caller-provided scratch for the
+/// backward live-set sweep; identical output. The adjacency bit rows
+/// themselves are *not* recycled — [`Graph::from_bit_rows`] retains
+/// them inside the returned graph, so they are output, not scratch.
+pub fn interference_graph_in(
+    f: &Function,
+    live: &Liveness,
+    scratch: &mut AnalysisScratch,
+) -> Graph {
     let nv = f.value_count as usize;
     let mut rows = vec![BitSet::new(nv); nv];
-    let mut live_set = BitSet::new(nv);
+    let live_set = scratch.live_for(nv);
 
     for blk in f.block_ids() {
         let bi = blk.index();
@@ -48,7 +61,7 @@ pub fn interference_graph(f: &Function, live: &Liveness) -> Graph {
                 // d interferes with everything live after the def
                 // (other than itself, for non-SSA redefinitions).
                 live_set.remove(d.index());
-                rows[d.index()].union_with(&live_set);
+                rows[d.index()].union_with(live_set);
             }
             for u in &instr.uses {
                 live_set.insert(u.index());
@@ -118,9 +131,24 @@ pub fn linearize(f: &Function) -> Linearization {
 /// allocators, and it is what makes the intersection graph an interval
 /// graph. Dead values get empty intervals.
 pub fn live_intervals(f: &Function, live: &Liveness, lin: &Linearization) -> Vec<Interval> {
+    live_intervals_in(f, live, lin, &mut AnalysisScratch::new())
+}
+
+/// [`live_intervals`] with caller-provided scratch for the endpoint
+/// arrays; identical output.
+pub fn live_intervals_in(
+    f: &Function,
+    live: &Liveness,
+    lin: &Linearization,
+    scratch: &mut AnalysisScratch,
+) -> Vec<Interval> {
     let nv = f.value_count as usize;
-    let mut start = vec![u32::MAX; nv];
-    let mut end = vec![0u32; nv];
+    let start = &mut scratch.starts;
+    start.clear();
+    start.resize(nv, u32::MAX);
+    let end = &mut scratch.ends;
+    end.clear();
+    end.resize(nv, 0);
     let mut touch = |v: usize, s: u32, e: u32| {
         start[v] = start[v].min(s);
         end[v] = end[v].max(e);

@@ -59,6 +59,7 @@ pub mod interference;
 pub mod liveness;
 pub mod loops;
 pub mod pretty;
+pub mod scratch;
 pub mod spill_code;
 pub mod spill_cost;
 pub mod split;
@@ -67,3 +68,4 @@ pub mod textio;
 
 pub use analysis::FunctionAnalysis;
 pub use cfg::{Block, BlockId, Function, Instr, Opcode, Value};
+pub use scratch::AnalysisScratch;

@@ -13,6 +13,7 @@
 //! interfere.
 
 use crate::cfg::{Function, Opcode};
+use crate::scratch::{reset_local_table, AnalysisScratch};
 use lra_graph::BitSet;
 
 /// Per-block live sets plus register-pressure summaries.
@@ -50,15 +51,38 @@ impl LocalSets {
     /// Sets are materialised per block only when a scan touches them,
     /// so the incremental path pays for the dirty frontier, not for
     /// every block of the function.
-    fn empty(n: usize, nv: usize) -> Self {
+    ///
+    /// The tables (and any set a previous function materialised) are
+    /// borrowed from `scratch` and handed back by
+    /// [`LocalSets::recycle`], so a long-lived worker re-fills the
+    /// same allocations function after function. A recycled set is
+    /// reset empty at the right capacity first, which the accessors
+    /// below treat exactly like an unmaterialised `None`.
+    fn from_scratch(n: usize, nv: usize, scratch: &mut AnalysisScratch) -> Self {
+        let mut ue = std::mem::take(&mut scratch.ue);
+        let mut defs = std::mem::take(&mut scratch.defs);
+        let mut phi_defs = std::mem::take(&mut scratch.phi_defs);
+        let mut phi_out = std::mem::take(&mut scratch.phi_out);
+        reset_local_table(&mut ue, n, nv);
+        reset_local_table(&mut defs, n, nv);
+        reset_local_table(&mut phi_defs, n, nv);
+        reset_local_table(&mut phi_out, n, nv);
         LocalSets {
             nv,
             no_keys: BitSet::new(nv),
-            ue: vec![None; n],
-            defs: vec![None; n],
-            phi_defs: vec![None; n],
-            phi_out: vec![None; n],
+            ue,
+            defs,
+            phi_defs,
+            phi_out,
         }
+    }
+
+    /// Returns the tables to `scratch` for the next function.
+    fn recycle(self, scratch: &mut AnalysisScratch) {
+        scratch.ue = self.ue;
+        scratch.defs = self.defs;
+        scratch.phi_defs = self.phi_defs;
+        scratch.phi_out = self.phi_out;
     }
 
     fn ue(&self, b: usize) -> &BitSet {
@@ -137,10 +161,14 @@ fn solve(
     seeds: &[usize],
     live_in: &mut [BitSet],
     live_out: &mut [BitSet],
+    scratch: &mut AnalysisScratch,
 ) {
     let n = f.block_count();
-    let mut on_list = vec![false; n];
-    let mut stack: Vec<usize> = Vec::with_capacity(n);
+    let on_list = &mut scratch.on_list;
+    on_list.clear();
+    on_list.resize(n, false);
+    let stack = &mut scratch.stack;
+    stack.clear();
     for &b in seeds {
         if reachable[b] && !on_list[b] {
             on_list[b] = true;
@@ -179,9 +207,16 @@ fn solve(
 }
 
 /// Backward pressure sweep of one block: the maximum live-set size over
-/// its program points.
-fn block_pressure(f: &Function, b: usize, live_in: &BitSet, live_out: &BitSet) -> usize {
-    let mut live = live_out.clone();
+/// its program points. `live` is caller-provided sweep scratch (reset
+/// to the value-space capacity); its contents on entry are ignored.
+fn block_pressure(
+    f: &Function,
+    b: usize,
+    live_in: &BitSet,
+    live_out: &BitSet,
+    live: &mut BitSet,
+) -> usize {
+    live.copy_from(live_out);
     let mut local_max = live.len();
     for instr in f.blocks[b].instrs.iter().rev() {
         if instr.opcode == Opcode::Phi {
@@ -216,10 +251,18 @@ fn reachable_and_rpo(f: &Function) -> (Vec<bool>, Vec<usize>) {
 /// re-processed only when a successor's live-in actually changes), then
 /// sweeps each block once to measure per-point pressure.
 pub fn analyze(f: &Function) -> Liveness {
+    analyze_in(f, &mut AnalysisScratch::new())
+}
+
+/// [`analyze`] with caller-provided scratch buffers: identical output,
+/// but a worker recycling one [`AnalysisScratch`] across functions
+/// skips the per-function allocation of the transfer sets, the
+/// worklist and the pressure-sweep live set.
+pub fn analyze_in(f: &Function, scratch: &mut AnalysisScratch) -> Liveness {
     let n = f.block_count();
     let nv = f.value_count as usize;
 
-    let mut local = LocalSets::empty(n, nv);
+    let mut local = LocalSets::from_scratch(n, nv, scratch);
     for b in 0..n {
         local.scan_block(f, b, None);
     }
@@ -227,12 +270,22 @@ pub fn analyze(f: &Function) -> Liveness {
     let mut live_in = vec![BitSet::new(nv); n];
     let mut live_out = vec![BitSet::new(nv); n];
     let (reachable, rpo) = reachable_and_rpo(f);
-    solve(f, &local, &reachable, &rpo, &mut live_in, &mut live_out);
+    solve(
+        f,
+        &local,
+        &reachable,
+        &rpo,
+        &mut live_in,
+        &mut live_out,
+        scratch,
+    );
+    local.recycle(scratch);
 
     let mut block_max_live = vec![0usize; n];
     let mut max_live = 0usize;
+    let sweep = scratch.live_for(nv);
     for b in 0..n {
-        let local_max = block_pressure(f, b, &live_in[b], &live_out[b]);
+        let local_max = block_pressure(f, b, &live_in[b], &live_out[b], sweep);
         block_max_live[b] = local_max;
         max_live = max_live.max(local_max);
     }
@@ -270,6 +323,28 @@ pub fn analyze_incremental(
     dirty_blocks: &BitSet,
     changed_values: &BitSet,
 ) -> Liveness {
+    analyze_incremental_in(
+        f,
+        prev,
+        dirty_blocks,
+        changed_values,
+        &mut AnalysisScratch::new(),
+    )
+}
+
+/// [`analyze_incremental`] with caller-provided scratch buffers; same
+/// output, recycled allocations (see [`analyze_in`]).
+///
+/// # Panics
+///
+/// Same contract as [`analyze_incremental`].
+pub fn analyze_incremental_in(
+    f: &Function,
+    prev: &Liveness,
+    dirty_blocks: &BitSet,
+    changed_values: &BitSet,
+    scratch: &mut AnalysisScratch,
+) -> Liveness {
     let n = f.block_count();
     let nv = f.value_count as usize;
     assert_eq!(prev.live_in.len(), n, "block count changed across rounds");
@@ -277,7 +352,7 @@ pub fn analyze_incremental(
     assert_eq!(dirty_blocks.capacity(), n, "dirty-block mask capacity");
 
     // Masked local sets: changed values occur only in dirty blocks.
-    let mut local = LocalSets::empty(n, nv);
+    let mut local = LocalSets::from_scratch(n, nv, scratch);
     for b in dirty_blocks.iter() {
         local.scan_block(f, b, Some(changed_values));
     }
@@ -297,7 +372,8 @@ pub fn analyze_incremental(
         .copied()
         .filter(|&b| dirty_blocks.contains(b) || !local.phi_out(b).is_empty())
         .collect();
-    solve(f, &local, &reachable, &seeds, &mut pin, &mut pout);
+    solve(f, &local, &reachable, &seeds, &mut pin, &mut pout, scratch);
+    local.recycle(scratch);
 
     // Merge: carry the previous sets (grown to the new value space,
     // changed values cleared) and union in the partial solution. A
@@ -325,11 +401,12 @@ pub fn analyze_incremental(
 
     let mut block_max_live = vec![0usize; n];
     let mut max_live = 0usize;
+    let sweep = scratch.live_for(nv);
     for b in 0..n {
         let local_max = if out_carried_exactly[b] && !dirty_blocks.contains(b) {
             prev.block_max_live[b]
         } else {
-            block_pressure(f, b, &live_in[b], &live_out[b])
+            block_pressure(f, b, &live_in[b], &live_out[b], sweep)
         };
         block_max_live[b] = local_max;
         max_live = max_live.max(local_max);

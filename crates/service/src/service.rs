@@ -3,7 +3,7 @@
 
 use crate::metrics::{MetricsInner, ServiceMetrics};
 use crate::queue::{BoundedQueue, PushError};
-use lra_core::batch::{self, BatchItem};
+use lra_core::batch::{self, BatchItem, WorkerScratch};
 use lra_core::driver::AllocationPipeline;
 use lra_core::portfolio::portfolio_cache;
 use lra_ir::Function;
@@ -314,23 +314,41 @@ impl Drop for AllocationService {
     }
 }
 
+/// Most jobs one worker claims per queue-lock acquisition. Small
+/// enough that a burst still spreads across the pool (and `pop_run`'s
+/// half rule tightens that further), large enough that a backed-up
+/// queue costs one lock round-trip per few jobs instead of per job.
+const WORKER_CLAIM: usize = 4;
+
 fn worker_loop(shared: &Shared) {
-    while let Some(job) = shared.queue.pop() {
-        let item = batch::allocate_item(&shared.pipeline, &job.function);
-        shared.metrics.record_served(job.enqueued.elapsed());
-        match job.responder {
-            Responder::Channel(tx) => {
-                // A submitter that dropped its ticket no longer wants
-                // the answer; the work still counted as served.
-                let _ = tx.send(item);
-            }
-            Responder::Callback(cb) => {
-                // A panicking callback (user code) must not kill the
-                // worker: the queue behind it still holds accepted
-                // requests the drain contract promises to serve. The
-                // panic message still reaches stderr via the process
-                // panic hook.
-                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || cb(item)));
+    // One scratch per worker for its whole lifetime: analysis buffers
+    // are recycled across every function this worker serves, with
+    // output bits untouched (see [`lra_core::batch::WorkerScratch`]).
+    let mut scratch = WorkerScratch::new();
+    loop {
+        let run = shared.queue.pop_run(WORKER_CLAIM);
+        if run.is_empty() {
+            return; // closed and drained
+        }
+        for job in run {
+            let item = batch::allocate_item_with(&shared.pipeline, &job.function, &mut scratch);
+            shared.metrics.record_served(job.enqueued.elapsed());
+            match job.responder {
+                Responder::Channel(tx) => {
+                    // A submitter that dropped its ticket no longer
+                    // wants the answer; the work still counted as
+                    // served.
+                    let _ = tx.send(item);
+                }
+                Responder::Callback(cb) => {
+                    // A panicking callback (user code) must not kill
+                    // the worker: the queue behind it still holds
+                    // accepted requests the drain contract promises to
+                    // serve. The panic message still reaches stderr
+                    // via the process panic hook.
+                    let _ =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || cb(item)));
+                }
             }
         }
     }

@@ -71,6 +71,6 @@ pub use lra_targets as targets;
 pub use lra_core::{
     AllocatedFunction, AllocationPipeline, AllocatorRegistry, AllocatorSpec, BatchAllocator,
     BatchItem, BatchReport, BatchSummary, CoalesceMode, PipelineError, Portfolio, PortfolioConfig,
-    PortfolioOutcome, PortfolioSource, ReportRow, RowStats, SolveBudget,
+    PortfolioOutcome, PortfolioSource, ReportRow, RowStats, SolveBudget, WorkerScratch,
 };
 pub use lra_service::{AllocationService, ServiceConfig, ServiceMetrics};

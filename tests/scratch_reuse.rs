@@ -1,0 +1,136 @@
+//! The worker-scratch reuse contract, end to end:
+//!
+//! * property test — one long-lived [`lra::WorkerScratch`] threaded
+//!   through a stream of random SSA and JIT functions of wildly
+//!   different sizes produces reports byte-identical to fresh scratch
+//!   per function (buffer recycling never changes output bits);
+//! * the low-level analyses (`liveness::analyze_in`,
+//!   `interference_graph_in`, `live_intervals_in`) agree with their
+//!   scratch-free entry points on the same reused buffers;
+//! * a panicking pipeline run mid-stream leaves the scratch usable
+//!   and uncontaminating.
+
+use lra::core::batch::{allocate_item, allocate_item_with};
+use lra::core::pipeline::InstanceKind;
+use lra::ir::genprog::{random_jit_function, random_ssa_function, JitConfig, SsaConfig};
+use lra::ir::{interference, liveness, AnalysisScratch, Function};
+use lra::targets::{Target, TargetKind};
+use lra::{AllocationPipeline, WorkerScratch};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A function whose size swings with `scale` so consecutive items
+/// force the scratch buffers to both grow and shrink.
+fn random_function(rng: &mut ChaCha8Rng, jit: bool, scale: u32) -> Function {
+    if jit {
+        let cfg = JitConfig {
+            vars: (8 + scale * 7) as usize,
+            blocks: (4 + scale * 2) as usize,
+            ..JitConfig::default()
+        };
+        random_jit_function(rng, &cfg, "jit")
+    } else {
+        let cfg = SsaConfig {
+            target_instrs: (20 + scale * 30) as usize,
+            branch_percent: 30,
+            loop_percent: 20,
+            liveness_window: 6 + scale as usize * 3,
+            ..SsaConfig::default()
+        };
+        random_ssa_function(rng, &cfg, "ssa")
+    }
+}
+
+fn pipelines() -> Vec<AllocationPipeline> {
+    let t = Target::new(TargetKind::ArmCortexA8);
+    vec![
+        AllocationPipeline::new(t)
+            .allocator("LH")
+            .instance_kind(InstanceKind::PreciseGraph)
+            .registers(4)
+            .max_rounds(4),
+        AllocationPipeline::new(t)
+            .allocator("BFPL")
+            .instance_kind(InstanceKind::LinearIntervals)
+            .registers(4)
+            .max_rounds(4)
+            .optimized_spill_code(true),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reused_worker_scratch_is_byte_identical_to_fresh(seed in 0u64..10_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for pipeline in pipelines() {
+            // One scratch across the whole stream, exactly as a batch
+            // or service worker holds it.
+            let mut scratch = WorkerScratch::new();
+            for i in 0..4u32 {
+                // Big → small → big: shrinking reuse is the risky
+                // direction (stale high bits), so force it every pair.
+                let scale = if i % 2 == 0 { 3 } else { 0 };
+                let f = random_function(&mut rng, (seed + i as u64).is_multiple_of(2), scale);
+                let reused = allocate_item_with(&pipeline, &f, &mut scratch);
+                let fresh = allocate_item(&pipeline, &f);
+                prop_assert_eq!(
+                    reused.row(),
+                    fresh.row(),
+                    "seed {} item {} diverged under scratch reuse",
+                    seed,
+                    i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reused_analysis_scratch_matches_scratch_free_analyses(seed in 0u64..10_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut scratch = AnalysisScratch::new();
+        for i in 0..3u32 {
+            let scale = [2, 0, 3][i as usize];
+            let f = random_function(&mut rng, (seed + i as u64) % 2 == 1, scale);
+            let live_in = liveness::analyze_in(&f, &mut scratch);
+            let live = liveness::analyze(&f);
+            prop_assert_eq!(&live_in, &live, "seed {} item {}: liveness", seed, i);
+
+            let g_in = interference::interference_graph_in(&f, &live, &mut scratch);
+            let g = interference::interference_graph(&f, &live);
+            prop_assert_eq!(g_in.edge_count(), g.edge_count(), "seed {} item {}: edges", seed, i);
+
+            let lin = interference::linearize(&f);
+            let iv_in = interference::live_intervals_in(&f, &live, &lin, &mut scratch);
+            let iv = interference::live_intervals(&f, &live, &lin);
+            prop_assert_eq!(iv_in, iv, "seed {} item {}: intervals", seed, i);
+        }
+    }
+}
+
+#[test]
+fn scratch_survives_a_panicking_run_between_good_runs() {
+    use lra::ir::cfg::{Block, BlockId};
+    let mut blocks = vec![Block::default()];
+    blocks[0].succs = vec![BlockId(7)]; // dangling successor panics analysis
+    let broken = Function {
+        name: "broken".into(),
+        blocks,
+        entry: BlockId(0),
+        value_count: 1,
+        params: vec![],
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    for pipeline in pipelines() {
+        let mut scratch = WorkerScratch::new();
+        let good = random_function(&mut rng, true, 2);
+        let first = allocate_item_with(&pipeline, &good, &mut scratch);
+        let bad = allocate_item_with(&pipeline, &broken, &mut scratch);
+        assert!(bad.outcome.is_err(), "broken function must fail");
+        let second = allocate_item_with(&pipeline, &good, &mut scratch);
+        assert_eq!(first.row(), second.row());
+        assert_eq!(first.row(), allocate_item(&pipeline, &good).row());
+    }
+}
