@@ -69,6 +69,7 @@ pub fn jit_large_pipeline() -> AllocationPipeline {
         .instance_kind(InstanceKind::PreciseGraph)
         .registers(6)
         .max_rounds(4)
+        .escalation(true)
         .portfolio(standard_portfolio_config())
 }
 
@@ -102,10 +103,15 @@ fn experiments(
                       r: u32,
                       max_rounds: u32,
                       functions: Vec<Function>| {
+        // Every corpus opts into the split + remat escalation tier —
+        // the §4.3 residual-pressure tail is exactly what these
+        // converged counts track (`LRA_NO_SPLIT=1` still disables it
+        // process-wide for before/after comparisons).
         let base = AllocationPipeline::new(Target::new(TargetKind::ArmCortexA8))
             .instance_kind(kind)
             .registers(r)
-            .max_rounds(max_rounds);
+            .max_rounds(max_rounds)
+            .escalation(true);
         let chosen = policy.unwrap_or(default_allocator);
         let (label, pipeline) = if chosen.eq_ignore_ascii_case("portfolio") {
             ("Portfolio", base.portfolio(portfolio_cfg.clone()))
@@ -188,6 +194,8 @@ pub struct RecordedExperiment {
     pub converged: usize,
     /// Runs that hit the round budget / residual-pressure cutoff.
     pub non_converged: usize,
+    /// Converged runs rescued by the split + remat escalation tier.
+    pub escalated: usize,
     /// Min/Q1/median/Q3/max of per-function spill cost.
     pub spill_cost_quartiles: Option<[u64; 5]>,
     /// Wall-clock medians, one per recorded thread count.
@@ -255,6 +263,7 @@ pub fn record(seed: u64, thread_counts: &[usize], reps: usize) -> Vec<RecordedEx
                 total_spill_cost: m.total_spill_cost,
                 converged: m.converged,
                 non_converged: m.non_converged,
+                escalated: m.escalated,
                 spill_cost_quartiles: m.spill_cost_quartiles,
                 timings,
             }
@@ -389,7 +398,7 @@ pub fn to_json(
     let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"lra-bench/batch-v3\",");
+    let _ = writeln!(s, "  \"schema\": \"lra-bench/batch-v4\",");
     let _ = writeln!(s, "  \"seed\": {seed},");
     s.push_str("  \"experiments\": [\n");
     for (i, e) in experiments.iter().enumerate() {
@@ -399,6 +408,7 @@ pub fn to_json(
         let _ = writeln!(s, "      \"total_spill_cost\": {},", e.total_spill_cost);
         let _ = writeln!(s, "      \"converged\": {},", e.converged);
         let _ = writeln!(s, "      \"non_converged\": {},", e.non_converged);
+        let _ = writeln!(s, "      \"escalated\": {},", e.escalated);
         match e.spill_cost_quartiles {
             Some([min, q1, med, q3, max]) => {
                 let _ = writeln!(
@@ -498,7 +508,8 @@ mod tests {
         }
 
         let json = to_json(3, &recorded, &[]);
-        assert!(json.contains("\"schema\": \"lra-bench/batch-v3\""));
+        assert!(json.contains("\"schema\": \"lra-bench/batch-v4\""));
+        assert!(json.contains("\"escalated\""));
         assert!(json.contains("\"min_ms\""));
         assert!(json.contains("\"threads\": 1"));
         assert!(json.contains("\"threads\": 2"));
@@ -519,6 +530,7 @@ mod tests {
             total_spill_cost: 0,
             converged: 1,
             non_converged: 0,
+            escalated: 0,
             spill_cost_quartiles: None,
             timings: vec![RecordedTiming {
                 threads: 1,

@@ -348,6 +348,7 @@ impl BatchItem {
                     loads: r.loads,
                     converged: r.converged,
                     verified: r.verdict.is_feasible(),
+                    escalated: r.escalated,
                 }),
                 Err(e) => Err(e.to_string()),
             },
@@ -371,6 +372,9 @@ pub struct RowStats {
     pub converged: bool,
     /// Whether the final allocation verified feasible.
     pub verified: bool,
+    /// Whether the accepted result came from the split + remat
+    /// escalation tier ([`AllocatedFunction::escalated`]).
+    pub escalated: bool,
 }
 
 /// One report row: a function name plus its stats or error message.
@@ -420,8 +424,8 @@ pub fn render_rows(rows: &[ReportRow]) -> String {
     let m = BatchSummary::from_rows(rows);
     let _ = writeln!(
         s,
-        "functions {} | ok {} | failed {} | converged {} | non-converged {}",
-        m.functions, m.succeeded, m.failed, m.converged, m.non_converged
+        "functions {} | ok {} | failed {} | converged {} | non-converged {} | escalated {}",
+        m.functions, m.succeeded, m.failed, m.converged, m.non_converged, m.escalated
     );
     let _ = writeln!(
         s,
@@ -454,6 +458,11 @@ pub struct BatchSummary {
     /// this summary existed the flag was only visible per-report; the
     /// batch view is where a stuck corpus actually shows up.
     pub non_converged: usize,
+    /// Successful runs whose accepted result came from the split +
+    /// remat escalation tier — a subset of `converged` by the
+    /// acceptance rule, so `escalated` is exactly how many functions
+    /// the tier rescued from the residual-pressure tail.
+    pub escalated: usize,
     /// Total spill cost over all successful runs.
     pub total_spill_cost: u64,
     /// Spill stores inserted over all successful runs.
@@ -482,6 +491,7 @@ impl BatchSummary {
             failed: 0,
             converged: 0,
             non_converged: 0,
+            escalated: 0,
             total_spill_cost: 0,
             total_stores: 0,
             total_loads: 0,
@@ -496,6 +506,9 @@ impl BatchSummary {
                         s.converged += 1;
                     } else {
                         s.non_converged += 1;
+                    }
+                    if r.escalated {
+                        s.escalated += 1;
                     }
                     s.total_spill_cost += r.spill_cost;
                     s.total_stores += r.stores;

@@ -50,6 +50,7 @@ pub struct InstanceKey {
     cheap: String,
     node_budget: u64,
     time_budget: Option<Duration>,
+    split_remat: bool,
     weights: Vec<Cost>,
     /// Concatenated per-vertex adjacency rows (64 vertices per word).
     adjacency: Vec<u64>,
@@ -65,6 +66,7 @@ impl InstanceKey {
         cheap: &str,
         node_budget: u64,
         time_budget: Option<Duration>,
+        split_remat: bool,
     ) -> Self {
         let g = instance.graph();
         let n = g.vertex_count();
@@ -78,6 +80,7 @@ impl InstanceKey {
             cheap: cheap.to_string(),
             node_budget,
             time_budget,
+            split_remat,
             weights: instance.weighted_graph().weights().to_vec(),
             adjacency,
             intervals: instance.intervals().map(<[Interval]>::to_vec),
@@ -300,29 +303,37 @@ mod tests {
     }
 
     fn key_for(weight: Cost) -> InstanceKey {
-        InstanceKey::new(&inst(&[], vec![weight]), 1, "LH", 0, None)
+        InstanceKey::new(&inst(&[], vec![weight]), 1, "LH", 0, None, true)
     }
 
     #[test]
     fn identical_instances_share_a_key() {
         let a = inst(&[(0, 1), (1, 2)], vec![1, 2, 3]);
         let b = inst(&[(1, 2), (0, 1)], vec![1, 2, 3]);
-        let ka = InstanceKey::new(&a, 4, "LH", 100, None);
-        let kb = InstanceKey::new(&b, 4, "LH", 100, None);
+        let ka = InstanceKey::new(&a, 4, "LH", 100, None, true);
+        let kb = InstanceKey::new(&b, 4, "LH", 100, None, true);
         assert_eq!(ka, kb);
     }
 
     #[test]
     fn any_parameter_difference_changes_the_key() {
         let a = inst(&[(0, 1), (1, 2)], vec![1, 2, 3]);
-        let base = InstanceKey::new(&a, 4, "LH", 100, None);
+        let base = InstanceKey::new(&a, 4, "LH", 100, None, true);
         let diffs = [
-            InstanceKey::new(&inst(&[(0, 1)], vec![1, 2, 3]), 4, "LH", 100, None),
-            InstanceKey::new(&inst(&[(0, 1), (1, 2)], vec![1, 2, 4]), 4, "LH", 100, None),
-            InstanceKey::new(&a, 5, "LH", 100, None),
-            InstanceKey::new(&a, 4, "GC", 100, None),
-            InstanceKey::new(&a, 4, "LH", 101, None),
-            InstanceKey::new(&a, 4, "LH", 100, Some(Duration::from_millis(1))),
+            InstanceKey::new(&inst(&[(0, 1)], vec![1, 2, 3]), 4, "LH", 100, None, true),
+            InstanceKey::new(
+                &inst(&[(0, 1), (1, 2)], vec![1, 2, 4]),
+                4,
+                "LH",
+                100,
+                None,
+                true,
+            ),
+            InstanceKey::new(&a, 5, "LH", 100, None, true),
+            InstanceKey::new(&a, 4, "GC", 100, None, true),
+            InstanceKey::new(&a, 4, "LH", 101, None, true),
+            InstanceKey::new(&a, 4, "LH", 100, Some(Duration::from_millis(1)), true),
+            InstanceKey::new(&a, 4, "LH", 100, None, false),
         ];
         for (i, k) in diffs.iter().enumerate() {
             assert_ne!(&base, k, "variant {i} must not collide");
@@ -339,20 +350,20 @@ mod tests {
         let b =
             Instance::from_intervals(vec![Interval::new(0, 10), Interval::new(1, 3)], vec![1, 1]);
         assert_eq!(a.graph().edge_count(), b.graph().edge_count());
-        let ka = InstanceKey::new(&a, 1, "BLS", 100, None);
-        let kb = InstanceKey::new(&b, 1, "BLS", 100, None);
+        let ka = InstanceKey::new(&a, 1, "BLS", 100, None, true);
+        let kb = InstanceKey::new(&b, 1, "BLS", 100, None, true);
         assert_ne!(ka, kb);
         // An interval instance never collides with the bare-graph
         // instance of the same intersection graph.
         let bare = inst(&[(0, 1)], vec![1, 1]);
-        assert_ne!(ka, InstanceKey::new(&bare, 1, "BLS", 100, None));
+        assert_ne!(ka, InstanceKey::new(&bare, 1, "BLS", 100, None, true));
     }
 
     #[test]
     fn get_insert_and_stats() {
         let cache: ResultCache<u64> = ResultCache::new(8);
         let a = inst(&[(0, 1)], vec![1, 2]);
-        let k = InstanceKey::new(&a, 2, "LH", 10, None);
+        let k = InstanceKey::new(&a, 2, "LH", 10, None, true);
         assert_eq!(cache.get(&k), None);
         cache.insert(k.clone(), 42);
         assert_eq!(cache.get(&k), Some(42));

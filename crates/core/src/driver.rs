@@ -52,13 +52,14 @@
 
 use crate::assign::Assignment;
 use crate::coalesce;
-use crate::pipeline::{build_instance_with_in, copy_affinities_with, InstanceKind};
+use crate::pipeline::{build_instance_from_costs_in, copy_affinities_with, InstanceKind};
 use crate::portfolio::{Portfolio, PortfolioConfig};
 use crate::problem::{Allocator, Instance};
-use crate::registry::AllocatorRegistry;
+use crate::registry::{AllocatorRegistry, AllocatorSpec};
 use crate::verify::{self, Feasibility};
 use lra_graph::BitSet;
-use lra_ir::analysis;
+use lra_ir::remat::RematTable;
+use lra_ir::{analysis, liveness, spill_cost, split};
 use lra_ir::{spill_code, AnalysisScratch, Function, FunctionAnalysis};
 use lra_targets::Target;
 
@@ -133,6 +134,18 @@ pub struct AllocationPipeline {
     optimized_spill: bool,
     portfolio: Option<PortfolioConfig>,
     full_reanalysis: Option<bool>,
+    escalation: Option<bool>,
+}
+
+/// `true` when the `LRA_NO_SPLIT` environment variable disables the
+/// split + rematerialization escalation tier process-wide (any
+/// non-empty value other than `0`). The escape hatch for comparing
+/// against pre-escalation behaviour without rebuilding; the
+/// per-pipeline [`AllocationPipeline::escalation`] switch and the
+/// [`PortfolioConfig::split_remat`] knob are the programmatic
+/// equivalents.
+pub fn escalation_forced_off() -> bool {
+    std::env::var_os("LRA_NO_SPLIT").is_some_and(|v| !v.is_empty() && v != "0")
 }
 
 impl AllocationPipeline {
@@ -151,6 +164,7 @@ impl AllocationPipeline {
             optimized_spill: false,
             portfolio: None,
             full_reanalysis: None,
+            escalation: None,
         }
     }
 
@@ -222,6 +236,53 @@ impl AllocationPipeline {
         self
     }
 
+    /// Enables or disables the final-round **escalation tier**: when
+    /// the normal allocate → spill loop exits without converging, the
+    /// pipeline re-runs once from the original function with its
+    /// over-pressure live ranges split
+    /// ([`split::split_pressure_ranges`]) and constant-like values
+    /// rematerialized instead of spilled
+    /// ([`lra_ir::remat::rewrite_spill_code_remat`]), keeping the
+    /// escalated result only when it converges at no higher total
+    /// spill cost.
+    ///
+    /// The default (unset) turns the tier **on for `Portfolio`
+    /// pipelines** (honouring [`PortfolioConfig::split_remat`]) and off
+    /// for a directly-selected allocator — single-allocator runs are
+    /// measurement baselines (and the exact solver's fuel is budgeted
+    /// for the original function, not a split one), so they only
+    /// escalate on an explicit opt-in here. A portfolio whose
+    /// escalation budget is already spent (zero
+    /// [`PortfolioConfig::node_budget`] or an expired
+    /// [`PortfolioConfig::time_budget`]) keeps its degradation
+    /// contract — it behaves byte-identically to the cheap tier, so
+    /// the split + remat step stays off there too unless forced on
+    /// here. Setting `LRA_NO_SPLIT=1` ([`escalation_forced_off`])
+    /// overrides everything and turns the tier off process-wide.
+    pub fn escalation(mut self, enabled: bool) -> Self {
+        self.escalation = Some(enabled);
+        self
+    }
+
+    /// Whether a non-converged run of this pipeline enters the
+    /// split + remat escalation tier (the resolution of the
+    /// [`AllocationPipeline::escalation`] builder, the
+    /// [`PortfolioConfig::split_remat`] knob and the `LRA_NO_SPLIT`
+    /// escape hatch).
+    pub fn escalation_enabled(&self) -> bool {
+        if escalation_forced_off() {
+            return false;
+        }
+        self.escalation.unwrap_or_else(|| {
+            self.allocator.eq_ignore_ascii_case("Portfolio")
+                && self.portfolio.as_ref().is_none_or(|cfg| {
+                    cfg.split_remat
+                        && cfg.node_budget > 0
+                        && cfg.time_budget != Some(std::time::Duration::ZERO)
+                })
+        })
+    }
+
     /// Runs the full pipeline on `f`.
     pub fn run(&self, f: &Function) -> Result<AllocatedFunction, PipelineError> {
         self.run_with(f, &mut AnalysisScratch::new())
@@ -256,6 +317,80 @@ impl AllocationPipeline {
             .full_reanalysis
             .unwrap_or_else(analysis::full_reanalysis_forced);
 
+        let base = self.run_loop(f, scratch, allocator.as_ref(), spec, r, force_full, None)?;
+        // The paper's spill-everywhere figure: the first base round's
+        // cost on the original function. Saved before escalation can
+        // replace the round history with the split function's.
+        let first_round_cost = base.round_costs.first().copied().unwrap_or(0);
+
+        // §4.3 residual-pressure escalation: a stalled base run gets
+        // one restart from the ORIGINAL function with its over-pressure
+        // ranges split and constants rematerialized. The escalated
+        // result is kept only when it converges at no higher spill
+        // cost, so escalation is monotone per function (and therefore
+        // in every corpus aggregate).
+        let (outcome, escalated, split_copies) = if !base.converged && self.escalation_enabled() {
+            match self.escalate(f, scratch, allocator.as_ref(), spec, r, force_full, &base) {
+                Some((esc, copies)) => (esc, true, copies),
+                None => (base, false, 0),
+            }
+        } else {
+            (base, false, 0)
+        };
+
+        let spilled = BitSet::from_iter_with_capacity(
+            outcome.function.value_count as usize,
+            outcome.spilled_values.iter().copied(),
+        );
+        Ok(AllocatedFunction {
+            // On a non-converged exit the final rewrite appended reload
+            // values that the last allocation round never saw; pad the
+            // assignment so it covers every value of `function`, with
+            // `None` for the values the pipeline could not register-
+            // allocate.
+            assignment: outcome
+                .assignment
+                .pad_to(outcome.function.value_count as usize),
+            function: outcome.function,
+            allocator: spec.name,
+            registers: r,
+            kind: self.kind,
+            rounds: outcome.rounds,
+            converged: outcome.converged,
+            spill_cost: outcome.round_costs.iter().sum(),
+            round_costs: outcome.round_costs,
+            first_round_cost,
+            spilled,
+            stores: outcome.stores,
+            loads: outcome.loads,
+            remats: outcome.remats,
+            saved_moves: outcome.saved_moves,
+            verdict: outcome.verdict,
+            max_live_before: outcome.max_live_before,
+            max_live_after: outcome.max_live_after,
+            escalated,
+            split_copies,
+        })
+    }
+
+    /// The allocate → rewrite → reanalyse loop, shared by the base run
+    /// and the escalation tier. With `remat` set the loop prices
+    /// constant-like values at their re-issue cost
+    /// ([`spill_cost::spill_costs_with_remat`]) and rewrites their
+    /// evictions as rematerializations instead of stores + reloads
+    /// ([`lra_ir::remat::rewrite_spill_code_remat`]); the table is kept
+    /// in lockstep with the fresh values every rewrite introduces.
+    #[allow(clippy::too_many_arguments)] // internal plumbing behind run_with
+    fn run_loop(
+        &self,
+        f: &Function,
+        scratch: &mut AnalysisScratch,
+        allocator: &dyn Allocator,
+        spec: &'static AllocatorSpec,
+        r: u32,
+        force_full: bool,
+        mut remat: Option<RematTable>,
+    ) -> Result<LoopOutcome, PipelineError> {
         // The one analysis of the round: built once here, then updated
         // incrementally after each spill rewrite. Instance
         // construction, spill costs, the coalescing affinities and the
@@ -269,6 +404,7 @@ impl AllocationPipeline {
         let mut spilled_values: Vec<usize> = Vec::new();
         let mut stores = 0usize;
         let mut loads = 0usize;
+        let mut remats = 0usize;
         let mut saved_moves = 0u64;
         let mut converged = false;
         let mut rounds = 0u32;
@@ -276,8 +412,23 @@ impl AllocationPipeline {
 
         let (assignment, verdict) = loop {
             rounds += 1;
+            let costs = match &remat {
+                Some(table) => spill_cost::spill_costs_with_remat(
+                    &func,
+                    &func_analysis.liveness,
+                    &func_analysis.loops,
+                    &self.target,
+                    table,
+                ),
+                None => spill_cost::spill_costs(
+                    &func,
+                    &func_analysis.liveness,
+                    &func_analysis.loops,
+                    &self.target,
+                ),
+            };
             let inst =
-                build_instance_with_in(&func, &func_analysis, &self.target, self.kind, scratch);
+                build_instance_from_costs_in(&func, &func_analysis, self.kind, scratch, costs);
             if spec.needs_chordal && !inst.is_chordal() {
                 return Err(PipelineError::NeedsChordal(spec.name));
             }
@@ -285,30 +436,69 @@ impl AllocationPipeline {
                 &inst,
                 &func,
                 &func_analysis,
-                allocator.as_ref(),
+                allocator,
                 spec.needs_chordal,
                 r,
             );
-            round_costs.push(round.cost);
             saved_moves += round.saved_moves;
 
             if round.spilled.is_empty() {
+                round_costs.push(round.cost);
                 converged = true;
                 break (round.assignment, round.verdict);
             }
 
-            // Rewrite the function so the spilled values live in memory.
             let spill_set = BitSet::from_iter_with_capacity(
                 func.value_count as usize,
                 round.spilled.iter().copied(),
             );
-            let rewrite = if self.optimized_spill {
-                spill_code::rewrite_spill_code_optimized(&func, &spill_set)
-            } else {
-                spill_code::rewrite_spill_code(&func, &spill_set)
+            // With remat active the allocator's guidance vector and
+            // the accounted round cost deliberately differ: guidance
+            // keeps reloads at full price so the allocator is not
+            // steered into futile reload evictions, while the
+            // accounting charges what the remat-aware rewrite actually
+            // inserts (re-issued loads and materializations instead of
+            // store-plus-reload round trips) — see
+            // [`spill_cost::spill_insert_costs`]. Copies whose source
+            // just gained a slot are upgraded first so this round's
+            // evictions of them are priced (and rewritten) as slot
+            // re-loads.
+            round_costs.push(match remat.as_mut() {
+                Some(table) => {
+                    table.upgrade_slot_copies(&func, &spill_set);
+                    let ins = spill_cost::spill_insert_costs(
+                        &func,
+                        &func_analysis.liveness,
+                        &func_analysis.loops,
+                        &self.target,
+                        table,
+                    );
+                    round
+                        .spilled
+                        .iter()
+                        .map(|&v| ins.get(v).copied().unwrap_or(0))
+                        .sum()
+                }
+                None => round.cost,
+            });
+
+            // Rewrite the function so the spilled values live in memory
+            // (or, for remat-classed values, are re-issued at each use).
+            let rewrite = match remat.as_mut() {
+                Some(table) => lra_ir::remat::rewrite_spill_code_remat(
+                    &func,
+                    &spill_set,
+                    table,
+                    self.optimized_spill,
+                ),
+                None if self.optimized_spill => {
+                    spill_code::rewrite_spill_code_optimized(&func, &spill_set)
+                }
+                None => spill_code::rewrite_spill_code(&func, &spill_set),
             };
             stores += rewrite.stats.stores;
             loads += rewrite.stats.loads;
+            remats += rewrite.stats.remats;
             spilled_values.extend(round.spilled.iter().copied());
             func = rewrite.function;
             func_analysis = if force_full {
@@ -330,9 +520,15 @@ impl AllocationPipeline {
             // can leave values uncovered when MaxLive ≤ R — churn all
             // the way to `max_rounds`, tripling wall-clock on the
             // lao-kernels corpus for zero extra convergences, so the
-            // cutoff is deliberately R-independent.)
+            // cutoff is deliberately R-independent.) The escalated
+            // loop is the one exception: it exists precisely to chase
+            // the last few units of residual pressure, it only ever
+            // runs on the stalled tail, and its rounds are bounded by
+            // the same budget — so while MaxLive is still above R it
+            // keeps spilling through flat rounds and applies the
+            // churn cutoff only once the pressure fits.
             let max_live = func_analysis.liveness.max_live;
-            let stuck = max_live >= prev_max_live;
+            let stuck = max_live >= prev_max_live && (remat.is_none() || max_live <= r as usize);
             prev_max_live = max_live;
             if rounds >= self.max_rounds || stuck {
                 break (round.assignment, round.verdict);
@@ -344,33 +540,66 @@ impl AllocationPipeline {
         // rewrite, and on a converged exit `func` is unchanged since
         // it was analysed.
         let max_live_after = func_analysis.liveness.max_live;
-        let spilled = BitSet::from_iter_with_capacity(
-            func.value_count as usize,
-            spilled_values.iter().copied(),
-        );
-        Ok(AllocatedFunction {
-            // On a non-converged exit the final rewrite appended reload
-            // values that the last allocation round never saw; pad the
-            // assignment so it covers every value of `function`, with
-            // `None` for the values the pipeline could not register-
-            // allocate.
-            assignment: assignment.pad_to(func.value_count as usize),
+        Ok(LoopOutcome {
             function: func,
-            allocator: spec.name,
-            registers: r,
-            kind: self.kind,
             rounds,
             converged,
-            spill_cost: round_costs.iter().sum(),
             round_costs,
-            spilled,
+            spilled_values,
             stores,
             loads,
+            remats,
             saved_moves,
+            assignment,
             verdict,
             max_live_before,
             max_live_after,
         })
+    }
+
+    /// The escalation tier: split the original function's over-pressure
+    /// live ranges ([`split::split_pressure_ranges`]), classify
+    /// rematerializable values across the split
+    /// ([`RematTable::map_split`]), and re-run the whole loop on the
+    /// transformed function. Returns the escalated outcome and the
+    /// number of split copies when it converged at no higher spill cost
+    /// than `base`; `None` (caller keeps `base`) when nothing was
+    /// splittable, the escalated loop errored (e.g. the split cost a
+    /// non-SSA function its chordality) or the result was worse.
+    #[allow(clippy::too_many_arguments)] // internal plumbing behind run_with
+    fn escalate(
+        &self,
+        f: &Function,
+        scratch: &mut AnalysisScratch,
+        allocator: &dyn Allocator,
+        spec: &'static AllocatorSpec,
+        r: u32,
+        force_full: bool,
+        base: &LoopOutcome,
+    ) -> Option<(LoopOutcome, usize)> {
+        let live = liveness::analyze_in(f, scratch);
+        let split = split::split_pressure_ranges(f, &live, r as usize)?;
+        let table = RematTable::compute(f).map_split(&split.origin);
+        let mut esc = self
+            .run_loop(
+                &split.function,
+                scratch,
+                allocator,
+                spec,
+                r,
+                force_full,
+                Some(table),
+            )
+            .ok()?;
+        if !esc.converged || esc.spill_cost() > base.spill_cost() {
+            return None;
+        }
+        // The report should describe the whole pipeline run: rounds
+        // count the total allocation effort (base + escalated) and
+        // MaxLive-before is the original function's, not the split's.
+        esc.rounds += base.rounds;
+        esc.max_live_before = base.max_live_before;
+        Some((esc, split.copies))
     }
 
     /// One allocation round: allocate on `inst` (or its coalesced
@@ -467,6 +696,31 @@ struct RoundOutcome {
     saved_moves: u64,
 }
 
+/// Everything one allocate → rewrite loop produces; the base run and
+/// the escalated run each yield one and [`AllocationPipeline::run_with`]
+/// picks which becomes the [`AllocatedFunction`].
+struct LoopOutcome {
+    function: Function,
+    rounds: u32,
+    converged: bool,
+    round_costs: Vec<u64>,
+    spilled_values: Vec<usize>,
+    stores: usize,
+    loads: usize,
+    remats: usize,
+    saved_moves: u64,
+    assignment: Assignment,
+    verdict: Feasibility,
+    max_live_before: usize,
+    max_live_after: usize,
+}
+
+impl LoopOutcome {
+    fn spill_cost(&self) -> u64 {
+        self.round_costs.iter().sum()
+    }
+}
+
 /// The report returned by [`AllocationPipeline::run`].
 #[derive(Clone, Debug)]
 pub struct AllocatedFunction {
@@ -487,9 +741,17 @@ pub struct AllocatedFunction {
     pub converged: bool,
     /// Total spill cost over all rounds — the allocation cost.
     pub spill_cost: u64,
-    /// Per-round spill costs; `round_costs[0]` is the paper's
-    /// spill-everywhere allocation cost on the original function.
+    /// Per-round spill costs of the accepted run (the escalated loop's
+    /// rounds when [`AllocatedFunction::escalated`] is set; see
+    /// [`AllocatedFunction::first_round_cost`] for the paper's
+    /// escalation-independent figure). Always sums to
+    /// [`AllocatedFunction::spill_cost`].
     pub round_costs: Vec<u64>,
+    /// The first **base** round's spill cost: the spill-everywhere
+    /// allocation cost on the original function, the quantity every
+    /// figure of the paper reports. Unlike `round_costs[0]` this is
+    /// never displaced by an accepted escalation.
+    pub first_round_cost: u64,
     /// Every value the pipeline spilled, in the final function's value
     /// index space.
     pub spilled: BitSet,
@@ -497,6 +759,10 @@ pub struct AllocatedFunction {
     pub stores: usize,
     /// Spill reloads inserted across all rounds.
     pub loads: usize,
+    /// Rematerializations inserted instead of reloads (always 0 unless
+    /// the run escalated: only the escalation tier classifies values as
+    /// rematerializable).
+    pub remats: usize,
     /// Move cost removed by coalescing (0 when coalescing is off).
     pub saved_moves: u64,
     /// Concrete register per value of [`AllocatedFunction::function`]
@@ -511,14 +777,23 @@ pub struct AllocatedFunction {
     pub max_live_before: usize,
     /// `MaxLive` of the final rewritten function.
     pub max_live_after: usize,
+    /// `true` when the run stalled, entered the split + remat
+    /// escalation tier, and the escalated result was accepted (it
+    /// converged at no higher spill cost than the base run). When set,
+    /// [`AllocatedFunction::function`] descends from the
+    /// pressure-split function and `rounds` counts both loops.
+    pub escalated: bool,
+    /// Copies inserted by [`split::split_pressure_ranges`] on the
+    /// accepted escalated run (0 when `escalated` is `false`).
+    pub split_copies: usize,
 }
 
 impl AllocatedFunction {
     /// The first round's spill cost: the spill-everywhere allocation
     /// cost on the original function, the quantity every figure of the
-    /// paper reports.
+    /// paper reports ([`AllocatedFunction::first_round_cost`]).
     pub fn first_round_spill_cost(&self) -> u64 {
-        self.round_costs.first().copied().unwrap_or(0)
+        self.first_round_cost
     }
 
     /// Number of values spilled across all rounds.
@@ -719,6 +994,86 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn escalated_runs_converge_at_no_higher_cost() {
+        // The acceptance contract of the split + remat tier: a report
+        // with `escalated` set converged to a total assignment, split
+        // at least one range, kept the paper's first-round metric from
+        // the base run, and spent no more accounted spill cost than
+        // the stalled base run it replaced.
+        let t = Target::new(TargetKind::St231);
+        let mut escalations = 0;
+        for seed in 0..24u64 {
+            let f = small_function(seed);
+            let with = AllocationPipeline::new(t)
+                .registers(3)
+                .escalation(true)
+                .run(&f)
+                .unwrap();
+            let without = AllocationPipeline::new(t)
+                .registers(3)
+                .escalation(false)
+                .run(&f)
+                .unwrap();
+            assert!(!without.escalated, "seed {seed}: off-switch ignored");
+            assert_eq!(without.split_copies, 0, "seed {seed}");
+            if !with.escalated {
+                continue;
+            }
+            escalations += 1;
+            assert!(with.converged, "seed {seed}: accepted but not converged");
+            assert!(
+                with.split_copies > 0,
+                "seed {seed}: escalated without a split"
+            );
+            assert!(with.verdict.is_feasible(), "seed {seed}");
+            assert!(
+                with.spill_cost <= without.spill_cost,
+                "seed {seed}: escalation accepted a costlier run ({} > {})",
+                with.spill_cost,
+                without.spill_cost
+            );
+            assert_eq!(
+                with.first_round_spill_cost(),
+                without.first_round_spill_cost(),
+                "seed {seed}: the paper's spill-everywhere metric is the base run's"
+            );
+            let total = (0..with.function.value_count as usize)
+                .all(|v| with.assignment.register_of(v).is_some());
+            assert!(total, "seed {seed}: escalated assignment must be total");
+        }
+        assert!(escalations > 0, "no seed exercised the escalation tier");
+    }
+
+    #[test]
+    fn escalation_defaults_follow_the_allocator_and_the_budget() {
+        let t = Target::new(TargetKind::St231);
+        let p = |a: &str| AllocationPipeline::new(t).allocator(a);
+        assert!(!p("LH").escalation_enabled(), "baselines stay unescalated");
+        assert!(p("LH").escalation(true).escalation_enabled());
+        assert!(p("Portfolio").escalation_enabled(), "Portfolio defaults on");
+        assert!(!p("Portfolio").escalation(false).escalation_enabled());
+        let with_cfg = |cfg: crate::portfolio::PortfolioConfig| {
+            AllocationPipeline::new(t)
+                .portfolio(cfg)
+                .escalation_enabled()
+        };
+        use crate::portfolio::PortfolioConfig;
+        assert!(with_cfg(PortfolioConfig::default()));
+        assert!(
+            !with_cfg(PortfolioConfig::default().split_remat(false)),
+            "the PortfolioConfig knob turns the tier off"
+        );
+        assert!(
+            !with_cfg(PortfolioConfig::default().node_budget(0)),
+            "a spent escalation budget keeps the cheap-tier degradation contract"
+        );
+        assert!(
+            !with_cfg(PortfolioConfig::default().time_budget(Some(std::time::Duration::ZERO))),
+            "an expired time budget likewise degrades to the cheap tier"
+        );
     }
 
     #[test]

@@ -58,8 +58,23 @@ pub fn build_instance_with_in(
     kind: InstanceKind,
     scratch: &mut AnalysisScratch,
 ) -> Instance {
+    let costs = spill_cost::spill_costs(f, &analysis.liveness, &analysis.loops, target);
+    build_instance_from_costs_in(f, analysis, kind, scratch, costs)
+}
+
+/// [`build_instance_with_in`] with caller-provided spill costs — the
+/// entry point for cost models beyond plain spill-everywhere, such as
+/// the rematerialization discounts
+/// ([`lra_ir::spill_cost::spill_costs_with_remat`]) the escalation
+/// tier allocates under. `costs` must have one entry per value of `f`.
+pub fn build_instance_from_costs_in(
+    f: &Function,
+    analysis: &FunctionAnalysis,
+    kind: InstanceKind,
+    scratch: &mut AnalysisScratch,
+    costs: Vec<lra_graph::Cost>,
+) -> Instance {
     let live = &analysis.liveness;
-    let costs = spill_cost::spill_costs(f, live, &analysis.loops, target);
 
     match kind {
         InstanceKind::PreciseGraph => {

@@ -18,9 +18,10 @@
 //!   intervals as used by linear-scan allocators ([`interference`]),
 //! * spill-cost estimation (`frequency × accesses`, ABI-aware)
 //!   ([`spill_cost`]),
-//! * spill-everywhere code insertion and live-range splitting at uses
-//!   ([`split`]) — stores after definitions, reloads
-//!   before uses) ([`spill_code`]),
+//! * spill-everywhere code insertion ([`spill_code`]) — stores after
+//!   definitions, reloads before uses — plus live-range splitting at
+//!   uses and at over-pressure boundaries ([`split`]) and
+//!   rematerialization of constant-like values ([`remat`]),
 //! * seeded random program generators shaped like the benchmark suites
 //!   of the paper ([`genprog`]),
 //! * a textual pretty-printer ([`pretty`]) and a canonical,
@@ -59,6 +60,7 @@ pub mod interference;
 pub mod liveness;
 pub mod loops;
 pub mod pretty;
+pub mod remat;
 pub mod scratch;
 pub mod spill_code;
 pub mod spill_cost;

@@ -1,0 +1,722 @@
+//! Rematerialization: recompute cheap values instead of reloading them.
+//!
+//! Spill-everywhere round-trips every spilled value through memory — a
+//! store after the definition, a reload before each use. For values
+//! whose definition is *cheaper to re-execute than to reload* (constants
+//! and constant-like address arithmetic), classical rematerialization
+//! (Chaitin et al.; Briggs–Cooper–Torczon) drops the memory traffic
+//! entirely: the defining instruction is cloned right before each use
+//! and no spill slot is allocated at all.
+//!
+//! [`RematTable::compute`] classifies every value of a function with a
+//! [`RematClass`] derived from its defining instruction. The class is
+//! deliberately conservative for this IR:
+//!
+//! * exactly **one** definition across the whole function (the corpora
+//!   include non-SSA functions where temporaries are redefined freely —
+//!   a multi-def value has no single recomputation),
+//! * the defining opcode is a plain [`Opcode::Op`] with **no operands**
+//!   (a constant: its result does not depend on any register state, so
+//!   the clone is valid at any program point, even when the original
+//!   definition does not dominate the use),
+//! * not a function parameter (parameters have no defining instruction).
+//!
+//! [`rewrite_spill_code_remat`] is the remat-aware counterpart of
+//! [`crate::spill_code::rewrite_spill_code`]: spilled values that carry
+//! a [`RematClass::Const`] tag are materialized at each use instead of
+//! stored and reloaded. It reports the same [`SpillDelta`] as the plain
+//! rewrites so the incremental-liveness path works unchanged, and it
+//! keeps the table in lockstep with the rewritten function's value
+//! space — a materialized clone is itself rematerializable, so repeated
+//! spill rounds never accumulate loads for constant values. Reloads the
+//! rewrite inserts are tagged [`RematClass::Reload`]: their spill slot
+//! is written exactly once, so evicting a reload in a later round
+//! re-issues the load at each use instead of paying a second
+//! store-and-reload round trip (and needs no callee-saved register
+//! across calls — the slot outlives them).
+
+#![allow(clippy::needless_range_loop)] // parallel arrays indexed by block id
+
+use crate::cfg::{Block, Function, Instr, Opcode, Value};
+use crate::spill_code::{SpillDelta, SpillRewrite, SpillStats};
+use lra_graph::BitSet;
+
+/// How a value may leave the register file when the allocator evicts
+/// it, derived from its defining instruction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RematClass {
+    /// Not rematerializable: spilling stores the value and reloads it
+    /// before each use (the default for multi-def values, parameters,
+    /// φs, calls, loads and any computation with live operands).
+    #[default]
+    Spill,
+    /// A single-definition, zero-operand computation (a constant or
+    /// constant address): eviction re-executes the defining instruction
+    /// before each use and never touches memory.
+    Const,
+    /// A reload inserted by a previous spill round: its value already
+    /// sits in a spill slot that is written exactly once, so eviction
+    /// re-issues the load before each use — no second store, and no
+    /// callee-saved register across calls (the slot outlives them).
+    /// Only rewriter-created reloads get this class; an
+    /// [`Opcode::Load`] in the *source* program may read mutable
+    /// memory and is classified [`RematClass::Spill`] by
+    /// [`RematTable::compute`].
+    Reload,
+}
+
+/// Per-value rematerialization classes and recomputation templates for
+/// one function. Indexed by value; see the [module docs](self) for the
+/// classification rules.
+///
+/// # Examples
+///
+/// ```
+/// use lra_ir::builder::FunctionBuilder;
+/// use lra_ir::remat::{RematClass, RematTable};
+///
+/// let mut b = FunctionBuilder::new("f");
+/// let e = b.entry_block();
+/// let k = b.op(e, &[]);      // k = const        → Const
+/// let y = b.op(e, &[k]);     // y = f(k)         → Spill
+/// let f = b.finish();
+/// let table = RematTable::compute(&f);
+/// assert_eq!(table.class(k.index()), RematClass::Const);
+/// assert_eq!(table.class(y.index()), RematClass::Spill);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RematTable {
+    classes: Vec<RematClass>,
+    /// The defining instruction to clone at each use, for `Const`
+    /// values (`None` for `Spill`).
+    templates: Vec<Option<Instr>>,
+}
+
+impl RematTable {
+    /// Classifies every value of `f`.
+    pub fn compute(f: &Function) -> Self {
+        let nv = f.value_count as usize;
+        let mut def_count = vec![0u32; nv];
+        let mut def_instr: Vec<Option<Instr>> = vec![None; nv];
+        for block in &f.blocks {
+            for instr in &block.instrs {
+                if let Some(d) = instr.def {
+                    def_count[d.index()] += 1;
+                    def_instr[d.index()] = Some(instr.clone());
+                }
+            }
+        }
+        let mut table = RematTable {
+            classes: vec![RematClass::Spill; nv],
+            templates: vec![None; nv],
+        };
+        for v in 0..nv {
+            if def_count[v] != 1 || f.params.iter().any(|p| p.index() == v) {
+                continue;
+            }
+            let instr = def_instr[v].take().expect("counted def");
+            if instr.opcode == Opcode::Op && instr.uses.is_empty() {
+                table.classes[v] = RematClass::Const;
+                table.templates[v] = Some(instr);
+            }
+        }
+        table
+    }
+
+    /// The table for a [`crate::split::SplitFunction`] derived from the
+    /// function this table was computed on: every split copy inherits
+    /// the class of its origin (a copy of a constant is recomputed by
+    /// materializing the constant itself).
+    pub fn map_split(&self, origin: &[Value]) -> Self {
+        let classes: Vec<RematClass> = origin.iter().map(|o| self.classes[o.index()]).collect();
+        let templates = origin
+            .iter()
+            .enumerate()
+            .map(|(v, o)| {
+                self.templates[o.index()].clone().map(|mut t| {
+                    // The clone must define the split value, not the
+                    // origin, so materializations stay single-def.
+                    t.def = Some(Value(v as u32));
+                    t
+                })
+            })
+            .collect();
+        RematTable { classes, templates }
+    }
+
+    /// The class of value `v`.
+    pub fn class(&self, v: usize) -> RematClass {
+        self.classes.get(v).copied().unwrap_or(RematClass::Spill)
+    }
+
+    /// `true` when evicting `v` re-executes its definition instead of
+    /// spilling it.
+    pub fn is_remat(&self, v: usize) -> bool {
+        self.class(v) != RematClass::Spill
+    }
+
+    /// Number of values the table covers.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// `true` when the table covers no values.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Number of rematerializable values.
+    pub fn remat_count(&self) -> usize {
+        self.classes
+            .iter()
+            .filter(|c| **c != RematClass::Spill)
+            .count()
+    }
+
+    /// Registers a freshly created value: a materialized clone of
+    /// `template_of` (inheriting its class), or a plain new value
+    /// (reload, copy) when `template_of` is `None`.
+    fn push(&mut self, v: Value, template_of: Option<usize>) {
+        debug_assert_eq!(v.index(), self.classes.len());
+        match template_of {
+            Some(of) => {
+                self.classes.push(self.classes[of]);
+                let template = self.templates[of].clone().map(|mut t| {
+                    t.def = Some(v);
+                    t
+                });
+                self.templates.push(template);
+            }
+            None => {
+                self.classes.push(RematClass::Spill);
+                self.templates.push(None);
+            }
+        }
+    }
+
+    /// Registers a freshly created spill-slot reload as
+    /// [`RematClass::Reload`]: the slot it reads is written exactly
+    /// once, so a later eviction may re-issue the load at each use
+    /// instead of storing the reloaded value a second time.
+    fn push_reload(&mut self, v: Value) {
+        debug_assert_eq!(v.index(), self.classes.len());
+        self.classes.push(RematClass::Reload);
+        self.templates
+            .push(Some(Instr::new(Opcode::Load, Some(v), vec![])));
+    }
+
+    /// Upgrades copies that are backed by a spill slot to
+    /// [`RematClass::Reload`]: a single-def [`Opcode::Copy`] holds
+    /// exactly its operand's value, so once that operand has a
+    /// write-once slot — it is being spilled in this round's `spilled`
+    /// set, or it is itself a slot-backed [`RematClass::Reload`] value
+    /// — evicting the copy may re-issue a load from the slot instead
+    /// of paying a second store-and-reload round trip. The spill
+    /// driver calls this after each allocation round, before costing
+    /// and rewriting the round's evictions.
+    ///
+    /// Multi-def values (the non-SSA corpora redefine temporaries
+    /// freely) and parameters are skipped on both sides of the copy:
+    /// their slots are not write-once, so the slot's content at the
+    /// copy's use is not guaranteed to be the copied value.
+    pub fn upgrade_slot_copies(&mut self, f: &Function, spilled: &BitSet) {
+        let nv = f.value_count as usize;
+        let mut def_count = vec![0u8; nv];
+        for block in &f.blocks {
+            for instr in &block.instrs {
+                if let Some(d) = instr.def {
+                    def_count[d.index()] = def_count[d.index()].saturating_add(1);
+                }
+            }
+        }
+        let single = |v: usize| def_count[v] == 1 && !f.params.iter().any(|p| p.index() == v);
+        // Program-order scan so copy-of-copy chains cascade forward
+        // (a missed out-of-order chain link is merely a missed
+        // discount, never an unsound upgrade).
+        for block in &f.blocks {
+            for instr in &block.instrs {
+                if instr.opcode != Opcode::Copy {
+                    continue;
+                }
+                let Some(d) = instr.def else { continue };
+                let [u] = instr.uses[..] else { continue };
+                if self.class(d.index()) != RematClass::Spill || !single(d.index()) {
+                    continue;
+                }
+                let slot_backed = self.class(u.index()) == RematClass::Reload
+                    || (spilled.contains(u.index())
+                        && !self.is_remat(u.index())
+                        && single(u.index()));
+                if slot_backed {
+                    self.classes[d.index()] = RematClass::Reload;
+                    self.templates[d.index()] = Some(Instr::new(Opcode::Load, Some(d), vec![]));
+                }
+            }
+        }
+    }
+}
+
+/// Remat-aware spill rewriting: values in `spilled` that the table
+/// classifies [`RematClass::Const`] are re-materialized before each use
+/// (no store, no spill slot); every other spilled value takes the
+/// store-plus-reload path of [`crate::spill_code::rewrite_spill_code`].
+/// With `share_reloads`, consecutive uses in a block share one reload
+/// (and one materialization) per value, mirroring
+/// [`crate::spill_code::rewrite_spill_code_optimized`].
+///
+/// `table` must cover exactly the values of `f`; on return it covers
+/// the rewritten function (clones inherit their origin's class, fresh
+/// reloads become [`RematClass::Reload`] — their slot is written once,
+/// so a later eviction re-issues the load instead of storing again),
+/// so the caller can feed the result straight into the next spill
+/// round.
+///
+/// # Panics
+///
+/// Panics if `table.len()` differs from `f.value_count`.
+pub fn rewrite_spill_code_remat(
+    f: &Function,
+    spilled: &BitSet,
+    table: &mut RematTable,
+    share_reloads: bool,
+) -> SpillRewrite {
+    assert_eq!(
+        table.len(),
+        f.value_count as usize,
+        "remat table out of step with the function"
+    );
+    let mut next_value = f.value_count;
+    let mut stats = SpillStats::default();
+    let mut saved = 0usize;
+
+    let n = f.block_count();
+    let mut new_instrs: Vec<Vec<Instr>> = vec![Vec::new(); n];
+    let mut pred_tail: Vec<Vec<Instr>> = vec![Vec::new(); n];
+    let mut dirty = BitSet::new(n);
+
+    // One fresh value per reload *or* materialization, registered in
+    // the table as it is created so value indices stay in lockstep.
+    let mut fresh = |table: &mut RematTable, stats: &mut SpillStats, of: Value| -> (Value, Instr) {
+        let v = Value(next_value);
+        next_value += 1;
+        match table.class(of.index()) {
+            RematClass::Const => {
+                table.push(v, Some(of.index()));
+                stats.remats += 1;
+            }
+            // Evicting a reload re-issues the load (from the origin's
+            // write-once slot) — a load instruction, so it counts as
+            // one, but the origin needs no second store.
+            RematClass::Reload => {
+                table.push(v, Some(of.index()));
+                stats.loads += 1;
+            }
+            // A first-time spill: the reload it creates is itself
+            // re-issuable from the freshly written slot.
+            RematClass::Spill => {
+                table.push_reload(v);
+                stats.loads += 1;
+            }
+        }
+        let instr = table.templates[v.index()]
+            .clone()
+            .expect("remat-able values carry a template");
+        (v, instr)
+    };
+
+    for b in 0..n {
+        // value -> replacement already materialised in this block.
+        let mut avail: std::collections::HashMap<Value, Value> = std::collections::HashMap::new();
+        // Stores for spilled φ defs wait until after the φ run.
+        let mut phi_stores: Vec<Instr> = Vec::new();
+        for instr in &f.blocks[b].instrs {
+            let mut instr = instr.clone();
+            let is_phi = instr.opcode == Opcode::Phi;
+            if is_phi {
+                for (i, u) in instr.uses.iter_mut().enumerate() {
+                    if spilled.contains(u.index()) {
+                        let p = f.blocks[b].preds[i];
+                        let (v, repl) = fresh(table, &mut stats, *u);
+                        pred_tail[p.index()].push(repl);
+                        *u = v;
+                        dirty.insert(b);
+                        dirty.insert(p.index());
+                    }
+                }
+            } else {
+                new_instrs[b].append(&mut phi_stores);
+                for u in instr.uses.iter_mut() {
+                    if spilled.contains(u.index()) {
+                        dirty.insert(b);
+                        match avail.get(u) {
+                            Some(&v) if share_reloads => {
+                                saved += 1;
+                                *u = v;
+                            }
+                            _ => {
+                                let key = *u;
+                                let (v, repl) = fresh(table, &mut stats, *u);
+                                new_instrs[b].push(repl);
+                                avail.insert(key, v);
+                                *u = v;
+                            }
+                        }
+                    }
+                }
+            }
+            let def = instr.def;
+            let def_spilled = def.is_some_and(|d| spilled.contains(d.index()));
+            if def_spilled && share_reloads {
+                // The freshly computed value is itself usable until the
+                // end of the block.
+                avail.insert(def.expect("spilled def"), def.expect("spilled def"));
+            }
+            new_instrs[b].push(instr);
+            // Rematerializable values are never stored: their spill
+            // slot is the defining instruction itself.
+            if def_spilled && !table.is_remat(def.expect("spilled def").index()) {
+                stats.stores += 1;
+                dirty.insert(b);
+                let store = Instr::new(Opcode::Store, None, vec![def.expect("spilled def")]);
+                if is_phi {
+                    phi_stores.push(store);
+                } else {
+                    new_instrs[b].push(store);
+                }
+            }
+        }
+        new_instrs[b].append(&mut phi_stores);
+    }
+
+    let blocks: Vec<Block> = (0..n)
+        .map(|b| {
+            let mut instrs = std::mem::take(&mut new_instrs[b]);
+            instrs.append(&mut pred_tail[b]);
+            Block {
+                instrs,
+                succs: f.blocks[b].succs.clone(),
+                preds: Vec::new(),
+            }
+        })
+        .collect();
+    let mut out = Function {
+        name: f.name.clone(),
+        blocks,
+        entry: f.entry,
+        value_count: next_value,
+        params: f.params.clone(),
+    };
+    out.recompute_preds();
+    debug_assert_eq!(out.validate(), Ok(()));
+    SpillRewrite {
+        stats,
+        saved_loads: saved,
+        delta: SpillDelta::new(f, spilled, next_value, dirty),
+        function: out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::liveness;
+    use crate::spill_code;
+
+    #[test]
+    fn constants_classify_as_const() {
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry_block();
+        let k = b.op(e, &[]);
+        let y = b.op(e, &[k]);
+        let c = b.call(e, &[]);
+        let f = b.finish();
+        let t = RematTable::compute(&f);
+        assert_eq!(t.class(k.index()), RematClass::Const);
+        assert_eq!(t.class(y.index()), RematClass::Spill, "has live operands");
+        assert_eq!(t.class(c.index()), RematClass::Spill, "calls have effects");
+        assert_eq!(t.remat_count(), 1);
+    }
+
+    #[test]
+    fn params_and_multi_def_values_never_remat() {
+        use crate::cfg::{Block, BlockId, Function, Instr};
+        // Hand-built non-SSA function: value 1 defined twice.
+        let mut blocks = vec![Block::default()];
+        blocks[0]
+            .instrs
+            .push(Instr::new(Opcode::Op, Some(Value(1)), vec![]));
+        blocks[0]
+            .instrs
+            .push(Instr::new(Opcode::Op, Some(Value(1)), vec![]));
+        blocks[0]
+            .instrs
+            .push(Instr::new(Opcode::Op, Some(Value(2)), vec![]));
+        let mut f = Function {
+            name: "nonssa".into(),
+            blocks,
+            entry: BlockId(0),
+            value_count: 3,
+            params: vec![Value(0)],
+        };
+        f.recompute_preds();
+        let t = RematTable::compute(&f);
+        assert_eq!(t.class(0), RematClass::Spill, "params are not remat");
+        assert_eq!(t.class(1), RematClass::Spill, "multi-def is not remat");
+        assert_eq!(t.class(2), RematClass::Const);
+    }
+
+    #[test]
+    fn remat_rewrite_inserts_no_memory_traffic_for_constants() {
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry_block();
+        let k = b.op(e, &[]);
+        b.op(e, &[k]);
+        b.op(e, &[k]);
+        let f = b.finish();
+        let spilled = BitSet::from_iter_with_capacity(f.value_count as usize, [k.index()]);
+        let mut t = RematTable::compute(&f);
+        let rw = rewrite_spill_code_remat(&f, &spilled, &mut t, false);
+        assert_eq!(rw.stats.stores, 0);
+        assert_eq!(rw.stats.loads, 0);
+        assert_eq!(rw.stats.remats, 2);
+        // Each use now reads a fresh clone of the constant.
+        assert_eq!(rw.function.value_count, f.value_count + 2);
+        for v in f.value_count as usize..rw.function.value_count as usize {
+            assert_eq!(t.class(v), RematClass::Const, "clones stay remat-able");
+        }
+        assert_eq!(t.len(), rw.function.value_count as usize);
+        assert!(rw.function.validate().is_ok());
+    }
+
+    #[test]
+    fn non_remat_values_still_store_and_reload() {
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry_block();
+        let k = b.op(e, &[]);
+        let y = b.op(e, &[k]);
+        b.op(e, &[y]);
+        b.op(e, &[y]);
+        let f = b.finish();
+        let spilled = BitSet::from_iter_with_capacity(f.value_count as usize, [y.index()]);
+        let mut t = RematTable::compute(&f);
+        let rw = rewrite_spill_code_remat(&f, &spilled, &mut t, false);
+        assert_eq!(rw.stats.stores, 1);
+        assert_eq!(rw.stats.loads, 2);
+        assert_eq!(rw.stats.remats, 0);
+        // Identical to the plain spill rewrite when nothing remats.
+        let plain = spill_code::rewrite_spill_code(&f, &spilled);
+        assert_eq!(rw.function, plain.function);
+    }
+
+    #[test]
+    fn shared_materializations_mirror_shared_reloads() {
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry_block();
+        let next = b.block();
+        b.set_succs(e, &[next]);
+        let k = b.op(e, &[]);
+        b.op(next, &[k]);
+        b.op(next, &[k]); // same block: materialization shared
+        let f = b.finish();
+        let spilled = BitSet::from_iter_with_capacity(f.value_count as usize, [k.index()]);
+        let mut t = RematTable::compute(&f);
+        let rw = rewrite_spill_code_remat(&f, &spilled, &mut t, true);
+        assert_eq!(rw.stats.remats, 1);
+        assert_eq!(rw.saved_loads, 1);
+    }
+
+    #[test]
+    fn phi_uses_materialize_in_the_predecessor() {
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry_block();
+        let l = b.block();
+        let r = b.block();
+        let j = b.block();
+        b.set_succs(e, &[l, r]);
+        b.set_succs(l, &[j]);
+        b.set_succs(r, &[j]);
+        let kl = b.op(l, &[]);
+        let kr = b.op(r, &[]);
+        let m = b.phi(j, &[kl, kr]);
+        b.op(j, &[m]);
+        let f = b.finish();
+        let spilled = BitSet::from_iter_with_capacity(f.value_count as usize, [kl.index()]);
+        let mut t = RematTable::compute(&f);
+        let rw = rewrite_spill_code_remat(&f, &spilled, &mut t, false);
+        assert_eq!(rw.stats.remats, 1);
+        assert_eq!(rw.stats.loads, 0);
+        let last_in_l = rw.function.blocks[l.index()].instrs.last().unwrap();
+        assert_eq!(last_in_l.opcode, Opcode::Op);
+        assert!(last_in_l.uses.is_empty());
+    }
+
+    #[test]
+    fn remat_lowers_pressure_like_spilling() {
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry_block();
+        let ks: Vec<Value> = (0..5).map(|_| b.op(e, &[])).collect();
+        for k in &ks {
+            b.op(e, &[*k]);
+        }
+        let f = b.finish();
+        assert_eq!(liveness::analyze(&f).max_live, 5);
+        let spilled = BitSet::from_iter_with_capacity(
+            f.value_count as usize,
+            ks[..3].iter().map(|v| v.index()),
+        );
+        let mut t = RematTable::compute(&f);
+        let rw = rewrite_spill_code_remat(&f, &spilled, &mut t, false);
+        assert!(liveness::analyze(&rw.function).max_live < 5);
+        assert_eq!(rw.stats.remats, 3);
+    }
+
+    #[test]
+    fn delta_contract_holds_for_remat_rewrites() {
+        // Every occurrence of a changed value sits in a dirty block —
+        // the invariant the incremental liveness pass consumes.
+        use crate::genprog::{random_ssa_function, SsaConfig};
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+        let f = random_ssa_function(&mut rng, &SsaConfig::default(), "f");
+        let spilled = BitSet::from_iter_with_capacity(
+            f.value_count as usize,
+            (0..f.value_count as usize).filter(|v| v % 2 == 0),
+        );
+        let mut t = RematTable::compute(&f);
+        let rw = rewrite_spill_code_remat(&f, &spilled, &mut t, false);
+        for (b, blk) in rw.function.blocks.iter().enumerate() {
+            if rw.delta.dirty_blocks.contains(b) {
+                continue;
+            }
+            assert_eq!(blk.instrs, f.blocks[b].instrs, "block {b} silently changed");
+            for instr in &blk.instrs {
+                for v in instr.def.iter().chain(instr.uses.iter()) {
+                    assert!(!rw.delta.changed_values.contains(v.index()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn respilled_reloads_reissue_without_a_second_store() {
+        // Round 1 spills y, creating a reload. Round 2 evicts the
+        // reload: its slot already holds the value, so the rewrite
+        // re-issues the load and must not store again.
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry_block();
+        let x = b.op(e, &[]);
+        let y = b.op(e, &[x]);
+        b.op(e, &[y]);
+        let f = b.finish();
+        let mut t = RematTable::compute(&f);
+        let spilled = BitSet::from_iter_with_capacity(f.value_count as usize, [y.index()]);
+        let r1 = rewrite_spill_code_remat(&f, &spilled, &mut t, false);
+        let reload = f.value_count as usize;
+        assert_eq!(t.class(reload), RematClass::Reload);
+        let respill = BitSet::from_iter_with_capacity(r1.function.value_count as usize, [reload]);
+        let r2 = rewrite_spill_code_remat(&r1.function, &respill, &mut t, false);
+        assert_eq!(r2.stats.stores, 0, "slot-backed values are never re-stored");
+        assert_eq!(r2.stats.loads, 1, "the eviction re-issues one load");
+        // The re-issue is itself slot-backed, so round 3 behaves the same.
+        assert_eq!(
+            t.class(r1.function.value_count as usize),
+            RematClass::Reload
+        );
+        assert!(r2.function.validate().is_ok());
+    }
+
+    #[test]
+    fn slot_copies_upgrade_to_reload_when_their_source_spills() {
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry_block();
+        let k = b.op(e, &[]);
+        // `v` has an operand so it classifies as Spill: its eviction
+        // really does store to a slot.
+        let v = b.op(e, &[k]);
+        let s = b.copy(e, v); // single-def copy of v
+        b.op(e, &[s]);
+        b.op(e, &[v]);
+        let f = b.finish();
+        let mut t = RematTable::compute(&f);
+        assert_eq!(t.class(s.index()), RematClass::Spill);
+        // v gains a write-once slot this round: s holds exactly that
+        // slot's content, so evicting s may re-load it.
+        let spilled = BitSet::from_iter_with_capacity(f.value_count as usize, [v.index()]);
+        t.upgrade_slot_copies(&f, &spilled);
+        assert_eq!(t.class(s.index()), RematClass::Reload);
+        // The upgraded template re-issues a load defining s.
+        let rw = rewrite_spill_code_remat(
+            &f,
+            &BitSet::from_iter_with_capacity(f.value_count as usize, [v.index(), s.index()]),
+            &mut t,
+            false,
+        );
+        assert_eq!(rw.stats.stores, 1, "only v is stored");
+        assert!(rw.function.validate().is_ok());
+    }
+
+    #[test]
+    fn slot_copy_upgrades_skip_params_and_multi_def_values() {
+        use crate::cfg::{Block, BlockId, Function, Instr};
+        // Hand-built non-SSA function: value 1 is defined twice, value
+        // 0 is a parameter; copies of both must keep their Spill class
+        // (their slots are not write-once).
+        let mut blocks = vec![Block::default()];
+        blocks[0]
+            .instrs
+            .push(Instr::new(Opcode::Op, Some(Value(1)), vec![]));
+        blocks[0]
+            .instrs
+            .push(Instr::new(Opcode::Op, Some(Value(1)), vec![]));
+        blocks[0]
+            .instrs
+            .push(Instr::new(Opcode::Copy, Some(Value(2)), vec![Value(1)]));
+        blocks[0]
+            .instrs
+            .push(Instr::new(Opcode::Copy, Some(Value(3)), vec![Value(0)]));
+        blocks[0]
+            .instrs
+            .push(Instr::new(Opcode::Op, None, vec![Value(2), Value(3)]));
+        let mut f = Function {
+            name: "nonssa".into(),
+            blocks,
+            entry: BlockId(0),
+            value_count: 4,
+            params: vec![Value(0)],
+        };
+        f.recompute_preds();
+        let mut t = RematTable::compute(&f);
+        let spilled = BitSet::from_iter_with_capacity(f.value_count as usize, [0usize, 1usize]);
+        t.upgrade_slot_copies(&f, &spilled);
+        assert_eq!(
+            t.class(2),
+            RematClass::Spill,
+            "multi-def source stays spill"
+        );
+        assert_eq!(t.class(3), RematClass::Spill, "param source stays spill");
+    }
+
+    #[test]
+    fn split_copies_inherit_their_origin_class() {
+        use crate::split::split_at_uses;
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry_block();
+        let k = b.op(e, &[]);
+        let y = b.op(e, &[k]);
+        b.op(e, &[k, y]);
+        let f = b.finish();
+        let t = RematTable::compute(&f);
+        let s = split_at_uses(&f);
+        let ts = t.map_split(&s.origin);
+        assert_eq!(ts.len(), s.function.value_count as usize);
+        for v in f.value_count as usize..s.function.value_count as usize {
+            let o = s.origin[v];
+            assert_eq!(ts.class(v), t.class(o.index()));
+            if ts.is_remat(v) {
+                // The inherited template defines the copy, not the origin.
+                assert_eq!(ts.templates[v].as_ref().unwrap().def, Some(Value(v as u32)));
+            }
+        }
+    }
+}

@@ -20,6 +20,9 @@ pub struct SpillStats {
     pub stores: usize,
     /// Reloads inserted (one per use of a spilled value).
     pub loads: usize,
+    /// Materializations inserted instead of reloads (always 0 for the
+    /// plain rewrites; see [`crate::remat::rewrite_spill_code_remat`]).
+    pub remats: usize,
 }
 
 /// What a spill rewrite touched, in terms the incremental re-analysis
@@ -38,7 +41,12 @@ pub struct SpillDelta {
 }
 
 impl SpillDelta {
-    fn new(f: &Function, spilled: &BitSet, new_value_count: u32, dirty_blocks: BitSet) -> Self {
+    pub(crate) fn new(
+        f: &Function,
+        spilled: &BitSet,
+        new_value_count: u32,
+        dirty_blocks: BitSet,
+    ) -> Self {
         let changed_values = BitSet::from_iter_with_capacity(
             new_value_count as usize,
             spilled

@@ -16,9 +16,19 @@
 //! choices. The inserted copies are φ-free, so strict SSA (and hence
 //! chordality of the interference graph) is preserved.
 
+//!
+//! [`split_pressure_ranges`] is the targeted variant the pipeline's
+//! escalation tier uses: it splits only the values that are live across
+//! the boundary of an **over-pressure** block (`block_max_live > R`),
+//! so the long ranges binding a stall point become several short,
+//! independently-spillable ones while the rest of the function keeps
+//! its original ranges (and its original spill costs).
+
 #![allow(clippy::needless_range_loop)] // parallel arrays indexed by block id
 
 use crate::cfg::{Block, Function, Instr, Opcode, Value};
+use crate::liveness::Liveness;
+use lra_graph::BitSet;
 
 /// Result of [`split_at_uses`].
 #[derive(Clone, Debug)]
@@ -38,6 +48,54 @@ pub struct SplitFunction {
 /// placement spill reloads would take). Uses that are already copies
 /// are left alone to keep the transformation idempotent-ish.
 pub fn split_at_uses(f: &Function) -> SplitFunction {
+    split_uses_where(f, |_| true)
+}
+
+/// Splits the live ranges binding a stall point: every use of a value
+/// that is live into or out of a block whose maximum pressure exceeds
+/// `r` gets a fresh copy, exactly as in [`split_at_uses`]. Values that
+/// never cross an over-pressure boundary are left whole.
+///
+/// Returns `None` when no block exceeds `r` (nothing is stalled) or
+/// when the over-pressure ranges have no splittable use — the caller
+/// then has nothing to escalate.
+///
+/// # Examples
+///
+/// ```
+/// use lra_ir::builder::FunctionBuilder;
+/// use lra_ir::{liveness, split};
+///
+/// let mut b = FunctionBuilder::new("f");
+/// let e = b.entry_block();
+/// let x = b.op(e, &[]);
+/// let y = b.op(e, &[]);
+/// b.op(e, &[x, y]);
+/// let f = b.finish();
+/// let live = liveness::analyze(&f);
+/// assert!(split::split_pressure_ranges(&f, &live, 8).is_none()); // fits
+/// ```
+pub fn split_pressure_ranges(f: &Function, live: &Liveness, r: usize) -> Option<SplitFunction> {
+    let nv = f.value_count as usize;
+    let mut hot = BitSet::new(nv);
+    let mut any_hot_block = false;
+    for b in 0..f.block_count() {
+        if live.block_max_live[b] > r {
+            any_hot_block = true;
+            hot.union_with(&live.live_in[b]);
+            hot.union_with(&live.live_out[b]);
+        }
+    }
+    if !any_hot_block || hot.is_empty() {
+        return None;
+    }
+    let split = split_uses_where(f, |v| hot.contains(v));
+    (split.copies > 0).then_some(split)
+}
+
+/// The shared rewrite: one fresh copy before every use of a value
+/// selected by `want` (φ uses at the tail of the incoming predecessor).
+fn split_uses_where(f: &Function, want: impl Fn(usize) -> bool) -> SplitFunction {
     let mut next = f.value_count;
     let mut origin: Vec<Value> = (0..f.value_count).map(Value).collect();
     let mut copies = 0usize;
@@ -58,6 +116,9 @@ pub fn split_at_uses(f: &Function) -> SplitFunction {
             match instr.opcode {
                 Opcode::Phi => {
                     for (i, u) in instr.uses.iter_mut().enumerate() {
+                        if !want(u.index()) {
+                            continue;
+                        }
                         let s = fresh(origin[u.index()], &mut origin);
                         copies += 1;
                         let p = f.blocks[b].preds[i];
@@ -68,6 +129,9 @@ pub fn split_at_uses(f: &Function) -> SplitFunction {
                 Opcode::Copy => {} // already a split point
                 _ => {
                     for u in instr.uses.iter_mut() {
+                        if !want(u.index()) {
+                            continue;
+                        }
                         let s = fresh(origin[u.index()], &mut origin);
                         copies += 1;
                         new_instrs[b].push(Instr::new(Opcode::Copy, Some(s), vec![*u]));
@@ -193,6 +257,62 @@ mod tests {
                 after <= before + 2,
                 "seed {seed}: splitting raised MaxLive {before} -> {after}"
             );
+        }
+    }
+
+    #[test]
+    fn pressure_split_is_a_no_op_below_the_threshold() {
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry_block();
+        let x = b.op(e, &[]);
+        let y = b.op(e, &[]);
+        b.op(e, &[x, y]);
+        let f = b.finish();
+        let live = liveness::analyze(&f);
+        assert!(split_pressure_ranges(&f, &live, 8).is_none());
+        assert!(split_pressure_ranges(&f, &live, live.max_live).is_none());
+    }
+
+    #[test]
+    fn pressure_split_targets_only_over_pressure_ranges() {
+        // Block 0 is over-pressure at R = 2 (three long ranges cross
+        // into block 1); block 2's private value stays unsplit.
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry_block();
+        let mid = b.block();
+        let tail = b.block();
+        b.set_succs(e, &[mid]);
+        b.set_succs(mid, &[tail]);
+        let vs: Vec<_> = (0..3).map(|_| b.op(e, &[])).collect();
+        b.op(mid, &[vs[0]]);
+        b.op(mid, &[vs[1]]);
+        let local = b.op(tail, &[vs[2]]);
+        b.op(tail, &[local]);
+        let f = b.finish();
+        let live = liveness::analyze(&f);
+        let s = split_pressure_ranges(&f, &live, 2).expect("three ranges exceed R=2");
+        // The three hot values' uses are split; `local` (born and dead
+        // in the fitting tail block) is not.
+        assert_eq!(s.copies, 3);
+        for v in f.value_count..s.function.value_count {
+            assert_ne!(s.origin[v as usize], local, "local range must stay whole");
+        }
+        validate_strict_ssa(&s.function).expect("still strict SSA");
+    }
+
+    #[test]
+    fn pressure_split_preserves_chordality_on_random_ssa() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(23);
+        for _ in 0..6 {
+            let f = random_ssa_function(&mut rng, &SsaConfig::default(), "f");
+            let live = liveness::analyze(&f);
+            let Some(s) = split_pressure_ranges(&f, &live, 3) else {
+                continue;
+            };
+            validate_strict_ssa(&s.function).expect("strict SSA");
+            let live2 = liveness::analyze(&s.function);
+            let g = interference::interference_graph(&s.function, &live2);
+            assert!(peo::is_chordal(&g));
         }
     }
 

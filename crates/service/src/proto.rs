@@ -257,14 +257,15 @@ pub fn op_request(id: u64, op: &str) -> String {
 pub fn alloc_response(id: u64, row: &ReportRow) -> String {
     match &row.outcome {
         Ok(r) => format!(
-            "{{\"id\":{id},\"ok\":true,\"function\":\"{}\",\"spill_cost\":{},\"rounds\":{},\"stores\":{},\"loads\":{},\"converged\":{},\"verified\":{}}}",
+            "{{\"id\":{id},\"ok\":true,\"function\":\"{}\",\"spill_cost\":{},\"rounds\":{},\"stores\":{},\"loads\":{},\"converged\":{},\"verified\":{},\"escalated\":{}}}",
             escape(&row.function),
             r.spill_cost,
             r.rounds,
             r.stores,
             r.loads,
             r.converged,
-            r.verified
+            r.verified,
+            r.escalated
         ),
         Err(e) => format!(
             "{{\"id\":{id},\"ok\":false,\"function\":\"{}\",\"error\":\"{}\"}}",
@@ -354,6 +355,7 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
                         loads: need("loads")? as usize,
                         converged: flag("converged")?,
                         verified: flag("verified")?,
+                        escalated: flag("escalated")?,
                     }),
                 },
             })
@@ -425,6 +427,7 @@ mod tests {
                 loads: 9,
                 converged: true,
                 verified: true,
+                escalated: false,
             }),
         };
         let err = ReportRow {

@@ -50,6 +50,7 @@ pub struct Target {
     registers: u32,
     load_cost: u64,
     store_cost: u64,
+    remat_cost: u64,
     call_crossing_multiplier: u64,
 }
 
@@ -64,6 +65,7 @@ impl Target {
                 registers: 64,
                 load_cost: 3,
                 store_cost: 1,
+                remat_cost: 1,
                 call_crossing_multiplier: 2,
             },
             // Cortex-A8: 16 GPRs (r0-r15, with sp/lr/pc constrained);
@@ -73,6 +75,7 @@ impl Target {
                 registers: 16,
                 load_cost: 3,
                 store_cost: 2,
+                remat_cost: 1,
                 call_crossing_multiplier: 2,
             },
         }
@@ -123,6 +126,22 @@ impl Target {
         self.store_cost
     }
 
+    /// Cost of recomputing a rematerializable value at a use site, in
+    /// abstract cycle units. On both modelled machines a constant (or
+    /// simple address arithmetic) re-issues in one slot, so the default
+    /// is `1` — strictly cheaper than a reload, which is why the spill
+    /// cost model prefers rematerialization whenever it is legal.
+    pub fn remat_cost(&self) -> u64 {
+        self.remat_cost
+    }
+
+    /// Overrides the rematerialization cost (a `remat_cost >= load_cost`
+    /// effectively disables the remat preference in the cost model).
+    pub fn with_remat_cost(mut self, remat_cost: u64) -> Self {
+        self.remat_cost = remat_cost;
+        self
+    }
+
     /// Multiplier applied to the spill cost of variables live across a
     /// call site (ABI pressure on caller-saved registers).
     pub fn call_crossing_multiplier(&self) -> u64 {
@@ -163,6 +182,17 @@ mod tests {
         assert_eq!(t.register_count(), 8);
         // Cost model unchanged by the override.
         assert_eq!(t.load_cost(), 3);
+    }
+
+    #[test]
+    fn remat_is_cheaper_than_a_reload() {
+        for kind in [TargetKind::St231, TargetKind::ArmCortexA8] {
+            let t = Target::new(kind);
+            assert!(t.remat_cost() >= 1);
+            assert!(t.remat_cost() < t.load_cost());
+        }
+        let pinned = Target::new(TargetKind::St231).with_remat_cost(7);
+        assert_eq!(pinned.remat_cost(), 7);
     }
 
     #[test]
