@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lra_bench::suites;
 use lra_core::driver::AllocationPipeline;
-use lra_core::pipeline::InstanceKind;
+use lra_core::pipeline::{build_instance, InstanceKind};
 use lra_ir::Function;
 use lra_targets::{Target, TargetKind};
 
@@ -19,15 +19,32 @@ fn largest_functions(count: usize) -> Vec<Function> {
     fs
 }
 
+/// Peak resident estimate of the heaviest first-round instance: the
+/// packed adjacency matrix + CSR neighbor arena plus the weight
+/// vector. Re-analysis rounds shrink the function's pressure, so the
+/// first round's instance bounds the loop's allocation footprint.
+fn peak_instance_bytes(fs: &[Function], target: &Target) -> u64 {
+    fs.iter()
+        .map(|f| {
+            let inst = build_instance(f, target, InstanceKind::PreciseGraph);
+            let weights = std::mem::size_of_val(inst.weighted_graph().weights());
+            (inst.graph().resident_bytes() + weights) as u64
+        })
+        .max()
+        .unwrap_or(0)
+}
+
 fn bench_rounds(c: &mut Criterion) {
     let fs = largest_functions(4);
+    let target = Target::new(TargetKind::ArmCortexA8);
     let mut group = c.benchmark_group("pipeline_rounds");
     group.sample_size(10);
+    group.metric("bytes_per_instance", peak_instance_bytes(&fs, &target));
     for full in [false, true] {
         let label = if full { "full" } else { "incremental" };
         // LH (not Portfolio) so the result cache and exact tier don't
         // blur the re-analysis comparison.
-        let pipeline = AllocationPipeline::new(Target::new(TargetKind::ArmCortexA8))
+        let pipeline = AllocationPipeline::new(target)
             .allocator("LH")
             .instance_kind(InstanceKind::PreciseGraph)
             .registers(6)

@@ -24,7 +24,6 @@
 //! Correctness never depends on what stays cached, only future hit
 //! rates do, which is exactly the trade a lossy cache makes.
 
-use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -43,8 +42,20 @@ use lra_graph::{Cost, Interval};
 /// them directly (linear-scan cheap tiers, the min-cost-flow exact
 /// solver): two interval instances with the same intersection graph
 /// but different endpoints are different problems.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+///
+/// Construction rolls every field — one mix step per adjacency word,
+/// weight and interval, O(words) total — into a 64-bit `fingerprint`
+/// stored alongside the data. The fingerprint is the key's hash
+/// (consistent with `Eq`: equal keys roll to equal fingerprints) and
+/// the equality fast path: comparisons bail on the first fingerprint
+/// mismatch and only walk the adjacency/weight vectors when the
+/// fingerprints agree. The mixer is constant-keyed, so fingerprints —
+/// and therefore cache slot placement — are reproducible run to run.
+#[derive(Clone, Debug)]
 pub struct InstanceKey {
+    /// Rolling hash of every other field, computed once in
+    /// [`InstanceKey::new`].
+    fingerprint: u64,
     vertices: usize,
     registers: u32,
     cheap: String,
@@ -56,6 +67,16 @@ pub struct InstanceKey {
     adjacency: Vec<u64>,
     /// The live intervals, when the instance carries them.
     intervals: Option<Vec<Interval>>,
+}
+
+/// One step of the constant-keyed rolling hash: absorb `v` into `h`
+/// with a full splitmix64 finalizer, so single-bit input differences
+/// avalanche across the state before the next word lands.
+fn roll(h: u64, v: u64) -> u64 {
+    let mut x = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 impl InstanceKey {
@@ -70,21 +91,82 @@ impl InstanceKey {
     ) -> Self {
         let g = instance.graph();
         let n = g.vertex_count();
-        let mut adjacency = Vec::with_capacity(n * n.div_ceil(64));
-        for v in 0..n {
-            adjacency.extend_from_slice(g.neighbor_row(v).words());
+        // One contiguous copy of the packed adjacency matrix — same
+        // layout as the old per-vertex row concatenation, so keys stay
+        // byte-identical across cache versions.
+        let adjacency = g.adjacency_words().to_vec();
+        let weights = instance.weighted_graph().weights().to_vec();
+        let intervals = instance.intervals().map(<[Interval]>::to_vec);
+
+        let mut fp = roll(n as u64, registers as u64);
+        fp = roll(fp, cheap.len() as u64);
+        for b in cheap.bytes() {
+            fp = roll(fp, b as u64);
         }
+        fp = roll(fp, node_budget);
+        fp = roll(
+            fp,
+            time_budget.map_or(u64::MAX, |d| d.as_nanos() as u64 | 1),
+        );
+        fp = roll(fp, split_remat as u64);
+        for &w in &weights {
+            fp = roll(fp, w);
+        }
+        for &word in &adjacency {
+            fp = roll(fp, word);
+        }
+        match &intervals {
+            None => fp = roll(fp, 0),
+            Some(ivs) => {
+                fp = roll(fp, ivs.len() as u64 | (1 << 63));
+                for iv in ivs {
+                    fp = roll(fp, (u64::from(iv.start) << 32) | u64::from(iv.end));
+                }
+            }
+        }
+
         InstanceKey {
+            fingerprint: fp,
             vertices: n,
             registers,
             cheap: cheap.to_string(),
             node_budget,
             time_budget,
             split_remat,
-            weights: instance.weighted_graph().weights().to_vec(),
+            weights,
             adjacency,
-            intervals: instance.intervals().map(<[Interval]>::to_vec),
+            intervals,
         }
+    }
+}
+
+impl PartialEq for InstanceKey {
+    fn eq(&self, other: &Self) -> bool {
+        // Fingerprint-first: a mismatch (the overwhelmingly common
+        // case for distinct keys sharing a slot) is one u64 compare.
+        // The exact field walk only runs on fingerprint agreement, so
+        // a hit is still guaranteed to be the identical problem.
+        self.fingerprint == other.fingerprint
+            && self.vertices == other.vertices
+            && self.registers == other.registers
+            && self.node_budget == other.node_budget
+            && self.time_budget == other.time_budget
+            && self.split_remat == other.split_remat
+            && self.cheap == other.cheap
+            && self.weights == other.weights
+            && self.adjacency == other.adjacency
+            && self.intervals == other.intervals
+    }
+}
+
+impl Eq for InstanceKey {}
+
+impl Hash for InstanceKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Equal keys roll to equal fingerprints, so hashing the
+        // fingerprint alone stays consistent with `Eq` and makes
+        // every downstream hash O(1) instead of O(words).
+        self.fingerprint.hash(state);
     }
 }
 
@@ -155,13 +237,13 @@ impl CacheStats {
 }
 
 /// One deterministic hash per key, reused for both the shard pick and
-/// the slot pick (disjoint bit regions so they don't correlate).
-/// `DefaultHasher::new()` is fixed-keyed — no per-process randomness —
-/// so slot placement is reproducible run to run.
+/// the slot pick (disjoint bit regions so they don't correlate). This
+/// is the fingerprint [`InstanceKey::new`] rolled once at
+/// construction — no re-hash of the adjacency words per lookup — and
+/// the mixer is constant-keyed, so slot placement is reproducible run
+/// to run.
 fn key_hash(key: &InstanceKey) -> u64 {
-    let mut h = DefaultHasher::new();
-    key.hash(&mut h);
-    h.finish()
+    key.fingerprint
 }
 
 impl<V: Clone> ResultCache<V> {

@@ -51,7 +51,7 @@ pub fn cluster_vertices(instance: &Instance, order: &[usize]) -> Vec<Vec<usize>>
             }
             cluster.push(v);
             potentials.remove(v);
-            potentials.difference_with(g.neighbor_row(v));
+            potentials.difference_with_row(g.neighbor_row(v));
         }
         for &v in &cluster {
             in_candidates.remove(v);

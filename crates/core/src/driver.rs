@@ -484,17 +484,21 @@ impl AllocationPipeline {
 
             // Rewrite the function so the spilled values live in memory
             // (or, for remat-classed values, are re-issued at each use).
+            // All three rewrites draw their block-edit buffers from the
+            // shared scratch, so per-round rewriting allocates from
+            // recycled storage.
             let rewrite = match remat.as_mut() {
-                Some(table) => lra_ir::remat::rewrite_spill_code_remat(
+                Some(table) => lra_ir::remat::rewrite_spill_code_remat_in(
                     &func,
                     &spill_set,
                     table,
                     self.optimized_spill,
+                    scratch,
                 ),
                 None if self.optimized_spill => {
-                    spill_code::rewrite_spill_code_optimized(&func, &spill_set)
+                    spill_code::rewrite_spill_code_optimized_in(&func, &spill_set, scratch)
                 }
-                None => spill_code::rewrite_spill_code(&func, &spill_set),
+                None => spill_code::rewrite_spill_code_in(&func, &spill_set, scratch),
             };
             stores += rewrite.stats.stores;
             loads += rewrite.stats.loads;
@@ -578,7 +582,7 @@ impl AllocationPipeline {
         base: &LoopOutcome,
     ) -> Option<(LoopOutcome, usize)> {
         let live = liveness::analyze_in(f, scratch);
-        let split = split::split_pressure_ranges(f, &live, r as usize)?;
+        let split = split::split_pressure_ranges_in(f, &live, r as usize, scratch)?;
         let table = RematTable::compute(f).map_split(&split.origin);
         let mut esc = self
             .run_loop(

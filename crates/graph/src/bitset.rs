@@ -209,13 +209,34 @@ impl BitSet {
             .sum()
     }
 
+    /// In-place difference with a borrowed matrix row: removes every key
+    /// of `row` from `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn difference_with_row(&mut self, row: BitRow<'_>) {
+        assert_eq!(self.capacity, row.capacity(), "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(row.words()) {
+            *a &= !b;
+        }
+    }
+
+    /// In-place union with a borrowed matrix row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn union_with_row(&mut self, row: BitRow<'_>) {
+        assert_eq!(self.capacity, row.capacity(), "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(row.words()) {
+            *a |= b;
+        }
+    }
+
     /// Iterates over the keys in increasing order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter {
-            set: self,
-            word_idx: 0,
-            current: self.words.first().copied().unwrap_or(0),
-        }
+        Iter::over(&self.words)
     }
 }
 
@@ -242,11 +263,22 @@ impl Extend<usize> for BitSet {
     }
 }
 
-/// Iterator over the keys of a [`BitSet`] in increasing order.
+/// Iterator over the keys of a [`BitSet`] or [`BitRow`] in increasing
+/// order.
 pub struct Iter<'a> {
-    set: &'a BitSet,
+    words: &'a [u64],
     word_idx: usize,
     current: u64,
+}
+
+impl<'a> Iter<'a> {
+    fn over(words: &'a [u64]) -> Self {
+        Iter {
+            words,
+            word_idx: 0,
+            current: words.first().copied().unwrap_or(0),
+        }
+    }
 }
 
 impl Iterator for Iter<'_> {
@@ -260,10 +292,10 @@ impl Iterator for Iter<'_> {
                 return Some(self.word_idx * 64 + bit);
             }
             self.word_idx += 1;
-            if self.word_idx >= self.set.words.len() {
+            if self.word_idx >= self.words.len() {
                 return None;
             }
-            self.current = self.set.words[self.word_idx];
+            self.current = self.words[self.word_idx];
         }
     }
 }
@@ -274,6 +306,256 @@ impl<'a> IntoIterator for &'a BitSet {
 
     fn into_iter(self) -> Iter<'a> {
         self.iter()
+    }
+}
+
+/// A borrowed, read-only view of one row of a [`BitMatrix`].
+///
+/// Supports the same queries as a [`BitSet`] of equal capacity without
+/// owning storage, so consumers can run word-level set algebra straight
+/// against the matrix arena.
+#[derive(Clone, Copy)]
+pub struct BitRow<'a> {
+    words: &'a [u64],
+    capacity: usize,
+}
+
+impl<'a> BitRow<'a> {
+    /// The number of keys this row can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The backing words, 64 keys per word.
+    pub fn words(&self) -> &'a [u64] {
+        self.words
+    }
+
+    /// Returns `true` if `key` is in the row.
+    pub fn contains(&self, key: usize) -> bool {
+        if key >= self.capacity {
+            return false;
+        }
+        self.words[key / 64] & (1 << (key % 64)) != 0
+    }
+
+    /// The number of keys currently in the row.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the row contains no keys.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Returns `true` if this row and `other` share no key.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// The number of keys present in both this row and `other`.
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over the keys in increasing order.
+    pub fn iter(&self) -> Iter<'a> {
+        Iter::over(self.words)
+    }
+
+    /// Copies the row into an owned [`BitSet`] of the same capacity.
+    pub fn to_bitset(&self) -> BitSet {
+        BitSet {
+            words: self.words.to_vec(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+impl std::fmt::Debug for BitRow<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl<'a> IntoIterator for BitRow<'a> {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+/// A dense 2-D bit matrix stored as **one contiguous `Vec<u64>`**.
+///
+/// Each of the `rows` rows holds `capacity` columns packed into
+/// `capacity.div_ceil(64)` words. This replaces `Vec<BitSet>` wherever a
+/// family of equally sized sets is built together (adjacency rows,
+/// per-block live sets): one allocation instead of one per row, and the
+/// whole arena is exposed via [`BitMatrix::words`] for O(words)
+/// fingerprinting.
+///
+/// # Examples
+///
+/// ```
+/// use lra_graph::bitset::BitMatrix;
+///
+/// let mut m = BitMatrix::new(3, 100);
+/// m.insert(0, 64);
+/// m.insert(2, 5);
+/// assert!(m.contains(0, 64));
+/// assert_eq!(m.row(2).iter().collect::<Vec<_>>(), vec![5]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitMatrix {
+    words: Vec<u64>,
+    rows: usize,
+    capacity: usize,
+    wpr: usize,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero matrix of `rows` rows and `capacity` columns.
+    pub fn new(rows: usize, capacity: usize) -> Self {
+        let wpr = capacity.div_ceil(64);
+        BitMatrix {
+            words: vec![0; rows * wpr],
+            rows,
+            capacity,
+            wpr,
+        }
+    }
+
+    /// Empties the matrix and re-sizes it to `rows × capacity`, reusing
+    /// the word allocation — the reset scratch buffers use when the
+    /// matrix is recycled across differently-sized functions.
+    pub fn reset(&mut self, rows: usize, capacity: usize) {
+        let wpr = capacity.div_ceil(64);
+        self.words.clear();
+        self.words.resize(rows * wpr, 0);
+        self.rows = rows;
+        self.capacity = capacity;
+        self.wpr = wpr;
+    }
+
+    /// The number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// The number of columns each row can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The number of words backing each row.
+    pub fn words_per_row(&self) -> usize {
+        self.wpr
+    }
+
+    /// The whole arena: row 0's words, then row 1's, and so on. Exposed
+    /// for cheap fingerprinting/serialisation.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    fn check(&self, r: usize, c: usize) {
+        assert!(r < self.rows, "row {r} out of {} rows", self.rows);
+        assert!(
+            c < self.capacity,
+            "key {c} out of capacity {}",
+            self.capacity
+        );
+    }
+
+    /// Inserts column `c` into row `r`, returning `true` if it was not
+    /// already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of range.
+    pub fn insert(&mut self, r: usize, c: usize) -> bool {
+        self.check(r, c);
+        let w = r * self.wpr + c / 64;
+        let bit = 1u64 << (c % 64);
+        let was = self.words[w] & bit != 0;
+        self.words[w] |= bit;
+        !was
+    }
+
+    /// Removes column `c` from row `r`, returning `true` if it was
+    /// present.
+    pub fn remove(&mut self, r: usize, c: usize) -> bool {
+        if r >= self.rows || c >= self.capacity {
+            return false;
+        }
+        let w = r * self.wpr + c / 64;
+        let bit = 1u64 << (c % 64);
+        let was = self.words[w] & bit != 0;
+        self.words[w] &= !bit;
+        was
+    }
+
+    /// Returns `true` if row `r` contains column `c`.
+    pub fn contains(&self, r: usize, c: usize) -> bool {
+        if r >= self.rows || c >= self.capacity {
+            return false;
+        }
+        self.words[r * self.wpr + c / 64] & (1 << (c % 64)) != 0
+    }
+
+    /// Word-level union of `other` into row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other.capacity()` differs from the column capacity.
+    pub fn union_row_with(&mut self, r: usize, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        let base = r * self.wpr;
+        for (a, b) in self.words[base..base + self.wpr]
+            .iter_mut()
+            .zip(&other.words)
+        {
+            *a |= b;
+        }
+    }
+
+    /// A borrowed view of row `r`.
+    pub fn row(&self, r: usize) -> BitRow<'_> {
+        let base = r * self.wpr;
+        BitRow {
+            words: &self.words[base..base + self.wpr],
+            capacity: self.capacity,
+        }
+    }
+
+    /// The total number of set bits across all rows.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The heap bytes held by the arena (capacity, not just length).
+    pub fn resident_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+impl std::fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BitMatrix")
+            .field("rows", &self.rows)
+            .field("capacity", &self.capacity)
+            .field("ones", &self.count_ones())
+            .finish()
     }
 }
 
@@ -391,5 +673,103 @@ mod tests {
     fn debug_is_never_empty() {
         let s = BitSet::new(4);
         assert_eq!(format!("{s:?}"), "{}");
+    }
+
+    #[test]
+    fn matrix_insert_remove_contains() {
+        let mut m = BitMatrix::new(3, 130);
+        assert!(m.insert(0, 129));
+        assert!(!m.insert(0, 129));
+        assert!(m.insert(2, 0));
+        assert!(m.contains(0, 129));
+        assert!(!m.contains(1, 129));
+        assert!(m.remove(0, 129));
+        assert!(!m.remove(0, 129));
+        assert!(!m.contains(0, 129));
+        assert_eq!(m.count_ones(), 1);
+        // Out-of-range queries are false, not panics.
+        assert!(!m.contains(3, 0));
+        assert!(!m.contains(0, 130));
+        assert!(!m.remove(3, 0));
+    }
+
+    #[test]
+    fn matrix_rows_are_isolated() {
+        // Rows must not bleed into each other even with a ragged tail
+        // word (capacity not a multiple of 64).
+        let mut m = BitMatrix::new(2, 70);
+        m.insert(0, 69);
+        m.insert(1, 0);
+        assert_eq!(m.row(0).iter().collect::<Vec<_>>(), vec![69]);
+        assert_eq!(m.row(1).iter().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(m.words_per_row(), 2);
+        assert_eq!(m.words().len(), 4);
+    }
+
+    #[test]
+    fn matrix_union_row_with_bitset() {
+        let mut m = BitMatrix::new(2, 100);
+        let s = BitSet::from_iter_with_capacity(100, [1, 64, 99]);
+        m.union_row_with(1, &s);
+        m.insert(1, 2);
+        assert_eq!(m.row(1).iter().collect::<Vec<_>>(), vec![1, 2, 64, 99]);
+        assert!(m.row(0).is_empty());
+    }
+
+    #[test]
+    fn matrix_reset_recycles_and_resizes() {
+        let mut m = BitMatrix::new(4, 200);
+        m.insert(3, 199);
+        m.reset(2, 10);
+        assert_eq!(m.row_count(), 2);
+        assert_eq!(m.capacity(), 10);
+        assert_eq!(m.count_ones(), 0);
+        m.insert(1, 9);
+        assert!(m.contains(1, 9));
+    }
+
+    #[test]
+    fn row_view_matches_bitset_semantics() {
+        let mut m = BitMatrix::new(1, 100);
+        for k in [1, 5, 64, 99] {
+            m.insert(0, k);
+        }
+        let row = m.row(0);
+        let b = BitSet::from_iter_with_capacity(100, [5, 64]);
+        assert!(row.contains(5));
+        assert!(!row.contains(6));
+        assert!(!row.contains(200));
+        assert_eq!(row.len(), 4);
+        assert!(!row.is_empty());
+        assert_eq!(row.intersection_len(&b), 2);
+        assert!(!row.is_disjoint(&b));
+        assert_eq!(row.capacity(), 100);
+        assert_eq!(
+            row.to_bitset().iter().collect::<Vec<_>>(),
+            vec![1, 5, 64, 99]
+        );
+        assert_eq!(format!("{row:?}"), "{1, 5, 64, 99}");
+        let empty = BitSet::new(100);
+        assert!(row.is_disjoint(&empty));
+    }
+
+    #[test]
+    fn bitset_algebra_against_rows() {
+        let mut m = BitMatrix::new(1, 100);
+        for k in [2, 3, 64] {
+            m.insert(0, k);
+        }
+        let mut s = BitSet::from_iter_with_capacity(100, [1, 2, 64, 99]);
+        s.difference_with_row(m.row(0));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 99]);
+        s.union_with_row(m.row(0));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 2, 3, 64, 99]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn matrix_insert_out_of_capacity_panics() {
+        let mut m = BitMatrix::new(2, 4);
+        m.insert(0, 4);
     }
 }

@@ -1,12 +1,19 @@
 //! Undirected graphs with compact adjacency storage.
 //!
-//! Interference graphs are simple undirected graphs. We store sorted
-//! adjacency vectors (for cache-friendly iteration and O(log d) edge
-//! queries) plus per-vertex adjacency bit rows (for O(1) edge queries and
-//! O(n/64) neighbourhood algebra, used heavily by clique enumeration and
-//! the allocation verifier).
+//! Interference graphs are simple undirected graphs. We store the
+//! adjacency twice, both forms packed into single contiguous arenas:
+//!
+//! * a **CSR neighbor arena** — one `Vec<u32>` of sorted neighbour
+//!   indices plus a `Vec<u32>` of per-vertex offsets — for
+//!   cache-friendly iteration ([`Graph::neighbor_indices`] is a slice
+//!   into the arena, no per-vertex `Vec`s anywhere), and
+//! * a [`BitMatrix`] of adjacency bit rows for O(1) edge queries and
+//!   O(n/64) neighbourhood algebra, used heavily by clique enumeration
+//!   and the allocation verifier. The matrix is the canonical form:
+//!   every constructor funnels into [`Graph::from_bit_matrix`], which
+//!   derives the CSR arena in one O(V + E) pass.
 
-use crate::bitset::BitSet;
+use crate::bitset::{BitMatrix, BitRow, BitSet};
 
 /// An index identifying a vertex (a variable) of a [`Graph`].
 ///
@@ -79,7 +86,7 @@ impl std::fmt::Display for Vertex {
 #[derive(Clone, Debug)]
 pub struct GraphBuilder {
     n: usize,
-    rows: Vec<BitSet>,
+    rows: BitMatrix,
 }
 
 impl GraphBuilder {
@@ -87,7 +94,7 @@ impl GraphBuilder {
     pub fn new(n: usize) -> Self {
         GraphBuilder {
             n,
-            rows: vec![BitSet::new(n); n],
+            rows: BitMatrix::new(n, n),
         }
     }
 
@@ -104,15 +111,15 @@ impl GraphBuilder {
             self.n
         );
         if u != v {
-            self.rows[u].insert(v);
-            self.rows[v].insert(u);
+            self.rows.insert(u, v);
+            self.rows.insert(v, u);
         }
         self
     }
 
     /// Returns `true` if the edge `(u, v)` has been added.
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
-        self.rows[u].contains(v)
+        self.rows.contains(u, v)
     }
 
     /// Adds every edge of the clique over `members`.
@@ -127,7 +134,7 @@ impl GraphBuilder {
 
     /// Finishes construction.
     pub fn build(self) -> Graph {
-        Graph::from_bit_rows(self.rows)
+        Graph::from_bit_matrix(self.rows)
     }
 }
 
@@ -148,58 +155,93 @@ impl GraphBuilder {
 /// ```
 #[derive(Clone, PartialEq, Eq)]
 pub struct Graph {
-    adj: Vec<Vec<u32>>,
-    rows: Vec<BitSet>,
+    /// CSR neighbor arena: sorted neighbour indices of vertex `v` live
+    /// at `nbrs[offsets[v]..offsets[v + 1]]`.
+    nbrs: Vec<u32>,
+    offsets: Vec<u32>,
+    rows: BitMatrix,
     edge_count: usize,
 }
 
 impl Graph {
-    /// Builds a graph directly from per-vertex adjacency bit rows,
-    /// taking their **symmetric closure**: an edge exists when either
-    /// endpoint's row names the other. Self-loops are dropped.
+    /// Builds a graph directly from an adjacency bit matrix, taking its
+    /// **symmetric closure**: an edge exists when either endpoint's row
+    /// names the other. Self-loops are dropped.
     ///
     /// This is the fast path for interference construction: callers
     /// union whole live sets into a definition's row with word-level
-    /// [`BitSet::union_with`] — O(n/64) per definition instead of one
-    /// `add_edge` call per live value — and this constructor mirrors
-    /// the edges and derives the sorted adjacency vectors in one final
-    /// O(V + E) pass.
+    /// [`BitMatrix::union_row_with`] — O(n/64) per definition instead
+    /// of one `add_edge` call per live value — and this constructor
+    /// mirrors the edges and derives the CSR neighbor arena in one
+    /// final O(V + E) pass. The matrix is retained as the graph's
+    /// canonical adjacency; no per-vertex edge list is ever
+    /// materialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square (`capacity != row_count`).
+    pub fn from_bit_matrix(mut rows: BitMatrix) -> Self {
+        let n = rows.row_count();
+        assert_eq!(
+            rows.capacity(),
+            n,
+            "matrix capacity must equal the vertex count {n}"
+        );
+        let wpr = rows.words_per_row();
+        for v in 0..n {
+            rows.remove(v, v);
+        }
+        // Mirror the edges recorded in one direction only. Words are
+        // copied out before mutating so row `u` can be walked while
+        // other rows gain bits; insertion is idempotent, so mirroring
+        // an already-symmetric edge is harmless.
+        for u in 0..n {
+            for wi in 0..wpr {
+                let mut w = rows.words()[u * wpr + wi];
+                while w != 0 {
+                    let v = wi * 64 + w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    rows.insert(v, u);
+                }
+            }
+        }
+        let total = rows.count_ones();
+        let mut nbrs: Vec<u32> = Vec::with_capacity(total);
+        let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        for v in 0..n {
+            nbrs.extend(rows.row(v).iter().map(|u| u as u32));
+            offsets.push(u32::try_from(nbrs.len()).expect("neighbor arena fits in u32"));
+        }
+        Graph {
+            nbrs,
+            offsets,
+            rows,
+            edge_count: total / 2,
+        }
+    }
+
+    /// Builds a graph from per-vertex adjacency bit rows (symmetric
+    /// closure, self-loops dropped) — a compatibility wrapper that
+    /// packs the rows into a [`BitMatrix`] and delegates to
+    /// [`Graph::from_bit_matrix`]. New code should build the matrix
+    /// directly and skip the copy.
     ///
     /// # Panics
     ///
     /// Panics if any row's capacity differs from the number of rows.
-    pub fn from_bit_rows(mut rows: Vec<BitSet>) -> Self {
+    pub fn from_bit_rows(rows: Vec<BitSet>) -> Self {
         let n = rows.len();
-        for (v, row) in rows.iter_mut().enumerate() {
+        let mut m = BitMatrix::new(n, n);
+        for (v, row) in rows.iter().enumerate() {
             assert_eq!(
                 row.capacity(),
                 n,
                 "row {v} capacity must equal the vertex count {n}"
             );
-            row.remove(v);
+            m.union_row_with(v, row);
         }
-        // Mirror the edges recorded in one direction only.
-        let mut missing: Vec<(usize, usize)> = Vec::new();
-        for u in 0..n {
-            for v in rows[u].iter() {
-                if !rows[v].contains(u) {
-                    missing.push((v, u));
-                }
-            }
-        }
-        for (v, u) in missing {
-            rows[v].insert(u);
-        }
-        let adj: Vec<Vec<u32>> = rows
-            .iter()
-            .map(|row| row.iter().map(|v| v as u32).collect())
-            .collect();
-        let edge_count = adj.iter().map(Vec::len).sum::<usize>() / 2;
-        Graph {
-            adj,
-            rows,
-            edge_count,
-        }
+        Graph::from_bit_matrix(m)
     }
 
     /// Creates a graph on `n` vertices from an edge list.
@@ -218,7 +260,7 @@ impl Graph {
 
     /// The number of vertices.
     pub fn vertex_count(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// The number of edges.
@@ -228,13 +270,14 @@ impl Graph {
 
     /// Iterates over all vertices in index order.
     pub fn vertices(&self) -> impl Iterator<Item = Vertex> + '_ {
-        (0..self.adj.len()).map(Vertex::new)
+        (0..self.vertex_count()).map(Vertex::new)
     }
 
     /// Iterates over every edge once, as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (Vertex, Vertex)> + '_ {
-        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
-            nbrs.iter()
+        (0..self.vertex_count()).flat_map(move |u| {
+            self.neighbor_indices(u)
+                .iter()
                 .filter(move |&&v| (v as usize) > u)
                 .map(move |&v| (Vertex::new(u), Vertex::new(v as usize)))
         })
@@ -242,27 +285,47 @@ impl Graph {
 
     /// Returns `true` if `(u, v)` is an edge.
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
-        self.rows[u].contains(v)
+        self.rows.contains(u, v)
     }
 
     /// The degree (number of neighbours) of `v`.
     pub fn degree(&self, v: usize) -> usize {
-        self.adj[v].len()
+        (self.offsets[v + 1] - self.offsets[v]) as usize
     }
 
     /// The neighbours of `v` in increasing index order.
     pub fn neighbors(&self, v: usize) -> impl Iterator<Item = Vertex> + '_ {
-        self.adj[v].iter().map(|&u| Vertex::new(u as usize))
+        self.neighbor_indices(v)
+            .iter()
+            .map(|&u| Vertex::new(u as usize))
     }
 
-    /// The neighbours of `v` as a raw sorted slice of indices.
+    /// The neighbours of `v` as a raw sorted slice of indices — a view
+    /// into the shared CSR arena, not a per-vertex allocation.
     pub fn neighbor_indices(&self, v: usize) -> &[u32] {
-        &self.adj[v]
+        &self.nbrs[self.offsets[v] as usize..self.offsets[v + 1] as usize]
     }
 
-    /// The neighbourhood of `v` as a bit set over vertex indices.
-    pub fn neighbor_row(&self, v: usize) -> &BitSet {
-        &self.rows[v]
+    /// The neighbourhood of `v` as a borrowed bit row over vertex
+    /// indices.
+    pub fn neighbor_row(&self, v: usize) -> BitRow<'_> {
+        self.rows.row(v)
+    }
+
+    /// The packed adjacency matrix words: vertex 0's row words, then
+    /// vertex 1's, and so on — `vertex_count().div_ceil(64)` words per
+    /// row. Exposed so cache keys and fingerprints can copy or hash the
+    /// whole adjacency in one O(words) pass.
+    pub fn adjacency_words(&self) -> &[u64] {
+        self.rows.words()
+    }
+
+    /// An estimate of the heap bytes resident in this graph's packed
+    /// arenas (CSR neighbours + offsets + adjacency bit matrix).
+    pub fn resident_bytes(&self) -> usize {
+        self.nbrs.capacity() * std::mem::size_of::<u32>()
+            + self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.rows.resident_bytes()
     }
 
     /// Returns `true` if `vs` induces a clique (every two members adjacent).
@@ -289,23 +352,24 @@ impl Graph {
         for (new, &old) in old_of_new.iter().enumerate() {
             new_of_old[old] = new;
         }
-        let mut b = GraphBuilder::new(old_of_new.len());
+        let k = old_of_new.len();
+        let mut m = BitMatrix::new(k, k);
         for (new_u, &old_u) in old_of_new.iter().enumerate() {
-            for &old_v in &self.adj[old_u] {
+            for &old_v in self.neighbor_indices(old_u) {
                 let old_v = old_v as usize;
                 if keep.contains(old_v) && old_v > old_u {
-                    b.add_edge(new_u, new_of_old[old_v]);
+                    m.insert(new_u, new_of_old[old_v]);
                 }
             }
         }
-        (b.build(), old_of_new)
+        (Graph::from_bit_matrix(m), old_of_new)
     }
 
     /// The maximum size of a set of vertices in `subset` that are all in
     /// one clique with vertex `v` — used by verifiers. Returns the number
     /// of members of `subset` adjacent to `v`.
     pub fn adjacent_count_in(&self, v: usize, subset: &BitSet) -> usize {
-        self.rows[v].intersection_len(subset)
+        self.rows.row(v).intersection_len(subset)
     }
 }
 
@@ -419,6 +483,50 @@ mod tests {
     #[should_panic(expected = "capacity must equal the vertex count")]
     fn from_bit_rows_rejects_mismatched_rows() {
         let _ = Graph::from_bit_rows(vec![BitSet::new(3), BitSet::new(3)]);
+    }
+
+    #[test]
+    fn from_bit_matrix_matches_from_bit_rows() {
+        // Same one-directional edges through both constructors.
+        let mut m = BitMatrix::new(4, 4);
+        m.insert(0, 0); // self-loop, dropped
+        m.insert(0, 1);
+        m.insert(0, 3);
+        m.insert(2, 1);
+        let mut rows = vec![BitSet::new(4); 4];
+        rows[0].insert(0);
+        rows[0].insert(1);
+        rows[0].insert(3);
+        rows[2].insert(1);
+        assert_eq!(Graph::from_bit_matrix(m), Graph::from_bit_rows(rows));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must equal the vertex count")]
+    fn from_bit_matrix_rejects_non_square() {
+        let _ = Graph::from_bit_matrix(BitMatrix::new(2, 3));
+    }
+
+    #[test]
+    fn adjacency_words_concatenate_rows() {
+        let g = path4();
+        let words = g.adjacency_words();
+        // 4 vertices → 1 word per row.
+        assert_eq!(words.len(), 4);
+        for (v, &word) in words.iter().enumerate() {
+            assert_eq!(word, g.neighbor_row(v).words()[0]);
+        }
+        assert!(g.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn neighbor_indices_are_csr_slices() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 3)]);
+        for v in 0..5 {
+            assert_eq!(g.neighbor_indices(v).len(), g.degree(v));
+            let from_row: Vec<u32> = g.neighbor_row(v).iter().map(|u| u as u32).collect();
+            assert_eq!(g.neighbor_indices(v), from_row.as_slice());
+        }
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod peo;
 pub mod stable;
 pub mod weights;
 
-pub use bitset::BitSet;
+pub use bitset::{BitMatrix, BitRow, BitSet};
 pub use cliques::{maximal_cliques, CliqueTree};
 pub use graph::{Graph, GraphBuilder, Vertex};
 pub use interval::Interval;

@@ -1,6 +1,8 @@
 //! Property-based tests of the graph substrate.
 
-use lra_graph::{cliques, coloring, generate, interval, peo, stable, BitSet, WeightedGraph};
+use lra_graph::{
+    cliques, coloring, generate, interval, peo, stable, BitMatrix, BitSet, Graph, WeightedGraph,
+};
 use proptest::prelude::*;
 use rand::Rng as _;
 use rand::SeedableRng;
@@ -130,5 +132,79 @@ proptest! {
         }
         prop_assert_eq!(bs.len(), reference.len());
         prop_assert_eq!(bs.iter().collect::<Vec<_>>(), reference.iter().copied().collect::<Vec<_>>());
+    }
+
+    /// Every constructor lands on the same CSR graph: `from_edges`,
+    /// `from_bit_rows` and `from_bit_matrix` built from the same edge
+    /// set agree on edges, degrees and (sorted) neighbor order, with
+    /// self-loops dropped and the symmetric closure taken.
+    #[test]
+    fn csr_constructors_agree(seed in 0u64..10_000, n in 1usize..40) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let m = rng.gen_range(0..n * 2 + 1);
+        // Directed, possibly duplicated, possibly self-looped raw pairs:
+        // construction must canonicalise all of that away.
+        let edges: Vec<(usize, usize)> = (0..m)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .collect();
+
+        let from_edges = Graph::from_edges(n, &edges);
+
+        let mut row_sets = vec![BitSet::new(n); n];
+        let mut matrix = BitMatrix::new(n, n);
+        for &(u, v) in &edges {
+            if u != v {
+                row_sets[u].insert(v);
+                row_sets[v].insert(u);
+            }
+            // The matrix path gets only the one direction (and the
+            // self-loops): from_bit_matrix owes us the closure.
+            matrix.insert(u, v);
+        }
+        let from_rows = Graph::from_bit_rows(row_sets);
+        let from_matrix = Graph::from_bit_matrix(matrix);
+
+        prop_assert_eq!(&from_edges, &from_rows);
+        prop_assert_eq!(&from_edges, &from_matrix);
+        for g in [&from_edges, &from_rows, &from_matrix] {
+            for v in 0..n {
+                let nbrs = g.neighbor_indices(v);
+                prop_assert_eq!(nbrs.len(), g.degree(v));
+                prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+                prop_assert!(!nbrs.contains(&(v as u32)), "no self-loop survives");
+                // The bit rows are the canonical adjacency the CSR
+                // arena was unpacked from: they must agree bit for bit.
+                prop_assert_eq!(
+                    g.neighbor_row(v).iter().map(|u| u as u32).collect::<Vec<_>>(),
+                    nbrs.to_vec()
+                );
+            }
+        }
+    }
+
+    /// An induced subgraph holds exactly the original edges between
+    /// kept vertices, reindexed by keep-order, in sorted CSR order.
+    #[test]
+    fn induced_subgraph_matches_edge_filter(seed in 0u64..10_000, n in 1usize..30) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let m = rng.gen_range(0..n * 2 + 1);
+        let edges: Vec<(usize, usize)> = (0..m)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .collect();
+        let g = Graph::from_edges(n, &edges);
+        let keep_set =
+            BitSet::from_iter_with_capacity(n, (0..n).filter(|_| rng.gen_bool(0.6)));
+        let (sub, keep) = g.induced_subgraph(&keep_set);
+        prop_assert_eq!(keep.to_vec(), keep_set.iter().collect::<Vec<_>>());
+        prop_assert_eq!(sub.vertex_count(), keep.len());
+        for (i, &u) in keep.iter().enumerate() {
+            for (j, &v) in keep.iter().enumerate() {
+                prop_assert_eq!(sub.has_edge(i, j), g.has_edge(u, v));
+            }
+            prop_assert!(sub
+                .neighbor_indices(i)
+                .windows(2)
+                .all(|w| w[0] < w[1]));
+        }
     }
 }

@@ -19,7 +19,7 @@
 use crate::cfg::{Function, Opcode};
 use crate::liveness::Liveness;
 use crate::scratch::AnalysisScratch;
-use lra_graph::{BitSet, Graph, Interval};
+use lra_graph::{BitMatrix, Graph, Interval};
 
 /// Builds the precise interference graph of `f` (one vertex per value).
 ///
@@ -27,27 +27,28 @@ use lra_graph::{BitSet, Graph, Interval};
 /// of the same block interfere pairwise (they exist simultaneously at
 /// block entry); function parameters interfere pairwise when live.
 ///
-/// Construction works directly on adjacency bit rows: each definition
-/// unions the current live set into its own row with one word-level
-/// [`BitSet::union_with`] — O(n/64) per definition instead of one
-/// `add_edge` call per live value — and [`Graph::from_bit_rows`]
-/// mirrors the edges and derives the sorted adjacency vectors in a
-/// single final pass.
+/// Construction works directly on a packed adjacency [`BitMatrix`]:
+/// each definition unions the current live set into its own row with
+/// one word-level [`BitMatrix::union_row_with`] — O(n/64) per
+/// definition instead of one `add_edge` call per live value — and
+/// [`Graph::from_bit_matrix`] mirrors the edges and derives the CSR
+/// neighbor arena in a single final pass. The whole adjacency is **one
+/// allocation**, not one `BitSet` per value.
 pub fn interference_graph(f: &Function, live: &Liveness) -> Graph {
     interference_graph_in(f, live, &mut AnalysisScratch::new())
 }
 
 /// [`interference_graph`] with caller-provided scratch for the
-/// backward live-set sweep; identical output. The adjacency bit rows
-/// themselves are *not* recycled — [`Graph::from_bit_rows`] retains
-/// them inside the returned graph, so they are output, not scratch.
+/// backward live-set sweep; identical output. The adjacency matrix
+/// itself is *not* recycled — [`Graph::from_bit_matrix`] retains it
+/// inside the returned graph, so it is output, not scratch.
 pub fn interference_graph_in(
     f: &Function,
     live: &Liveness,
     scratch: &mut AnalysisScratch,
 ) -> Graph {
     let nv = f.value_count as usize;
-    let mut rows = vec![BitSet::new(nv); nv];
+    let mut rows = BitMatrix::new(nv, nv);
     let live_set = scratch.live_for(nv);
 
     for blk in f.block_ids() {
@@ -61,7 +62,7 @@ pub fn interference_graph_in(
                 // d interferes with everything live after the def
                 // (other than itself, for non-SSA redefinitions).
                 live_set.remove(d.index());
-                rows[d.index()].union_with(live_set);
+                rows.union_row_with(d.index(), live_set);
             }
             for u in &instr.uses {
                 live_set.insert(u.index());
@@ -72,8 +73,8 @@ pub fn interference_graph_in(
         // the block.
         for instr in f.blocks[bi].phis() {
             if let Some(d) = instr.def {
-                rows[d.index()].union_with(&live.live_in[bi]);
-                rows[d.index()].remove(d.index());
+                rows.union_row_with(d.index(), &live.live_in[bi]);
+                rows.remove(d.index(), d.index());
             }
         }
     }
@@ -83,12 +84,12 @@ pub fn interference_graph_in(
     for (i, p) in f.params.iter().enumerate() {
         for q in &f.params[i + 1..] {
             if entry_in.contains(p.index()) && entry_in.contains(q.index()) {
-                rows[p.index()].insert(q.index());
+                rows.insert(p.index(), q.index());
             }
         }
     }
 
-    Graph::from_bit_rows(rows)
+    Graph::from_bit_matrix(rows)
 }
 
 /// A linearisation of `f`: block order plus the starting program point

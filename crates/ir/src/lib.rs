@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod block_edits;
 pub mod builder;
 pub mod cfg;
 pub mod dom;
@@ -69,5 +70,6 @@ pub mod ssa;
 pub mod textio;
 
 pub use analysis::FunctionAnalysis;
+pub use block_edits::BlockEdits;
 pub use cfg::{Block, BlockId, Function, Instr, Opcode, Value};
 pub use scratch::AnalysisScratch;

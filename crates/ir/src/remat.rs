@@ -37,7 +37,8 @@
 
 #![allow(clippy::needless_range_loop)] // parallel arrays indexed by block id
 
-use crate::cfg::{Block, Function, Instr, Opcode, Value};
+use crate::cfg::{Function, Instr, Opcode, Value};
+use crate::scratch::AnalysisScratch;
 use crate::spill_code::{SpillDelta, SpillRewrite, SpillStats};
 use lra_graph::BitSet;
 
@@ -280,6 +281,24 @@ pub fn rewrite_spill_code_remat(
     table: &mut RematTable,
     share_reloads: bool,
 ) -> SpillRewrite {
+    rewrite_spill_code_remat_in(
+        f,
+        spilled,
+        table,
+        share_reloads,
+        &mut AnalysisScratch::new(),
+    )
+}
+
+/// [`rewrite_spill_code_remat`] with caller-provided scratch for the
+/// block-edit buffers; identical output.
+pub fn rewrite_spill_code_remat_in(
+    f: &Function,
+    spilled: &BitSet,
+    table: &mut RematTable,
+    share_reloads: bool,
+    scratch: &mut AnalysisScratch,
+) -> SpillRewrite {
     assert_eq!(
         table.len(),
         f.value_count as usize,
@@ -290,8 +309,7 @@ pub fn rewrite_spill_code_remat(
     let mut saved = 0usize;
 
     let n = f.block_count();
-    let mut new_instrs: Vec<Vec<Instr>> = vec![Vec::new(); n];
-    let mut pred_tail: Vec<Vec<Instr>> = vec![Vec::new(); n];
+    let edits = scratch.edits_for(n);
     let mut dirty = BitSet::new(n);
 
     // One fresh value per reload *or* materialization, registered in
@@ -326,9 +344,8 @@ pub fn rewrite_spill_code_remat(
 
     for b in 0..n {
         // value -> replacement already materialised in this block.
-        let mut avail: std::collections::HashMap<Value, Value> = std::collections::HashMap::new();
+        edits.avail.clear();
         // Stores for spilled φ defs wait until after the φ run.
-        let mut phi_stores: Vec<Instr> = Vec::new();
         for instr in &f.blocks[b].instrs {
             let mut instr = instr.clone();
             let is_phi = instr.opcode == Opcode::Phi;
@@ -337,18 +354,18 @@ pub fn rewrite_spill_code_remat(
                     if spilled.contains(u.index()) {
                         let p = f.blocks[b].preds[i];
                         let (v, repl) = fresh(table, &mut stats, *u);
-                        pred_tail[p.index()].push(repl);
+                        edits.tails[p.index()].push(repl);
                         *u = v;
                         dirty.insert(b);
                         dirty.insert(p.index());
                     }
                 }
             } else {
-                new_instrs[b].append(&mut phi_stores);
+                edits.flush_phi_stores(b);
                 for u in instr.uses.iter_mut() {
                     if spilled.contains(u.index()) {
                         dirty.insert(b);
-                        match avail.get(u) {
+                        match edits.avail.get(u) {
                             Some(&v) if share_reloads => {
                                 saved += 1;
                                 *u = v;
@@ -356,8 +373,8 @@ pub fn rewrite_spill_code_remat(
                             _ => {
                                 let key = *u;
                                 let (v, repl) = fresh(table, &mut stats, *u);
-                                new_instrs[b].push(repl);
-                                avail.insert(key, v);
+                                edits.bodies[b].push(repl);
+                                edits.avail.insert(key, v);
                                 *u = v;
                             }
                         }
@@ -369,9 +386,11 @@ pub fn rewrite_spill_code_remat(
             if def_spilled && share_reloads {
                 // The freshly computed value is itself usable until the
                 // end of the block.
-                avail.insert(def.expect("spilled def"), def.expect("spilled def"));
+                edits
+                    .avail
+                    .insert(def.expect("spilled def"), def.expect("spilled def"));
             }
-            new_instrs[b].push(instr);
+            edits.bodies[b].push(instr);
             // Rematerializable values are never stored: their spill
             // slot is the defining instruction itself.
             if def_spilled && !table.is_remat(def.expect("spilled def").index()) {
@@ -379,26 +398,16 @@ pub fn rewrite_spill_code_remat(
                 dirty.insert(b);
                 let store = Instr::new(Opcode::Store, None, vec![def.expect("spilled def")]);
                 if is_phi {
-                    phi_stores.push(store);
+                    edits.phi_stores.push(store);
                 } else {
-                    new_instrs[b].push(store);
+                    edits.bodies[b].push(store);
                 }
             }
         }
-        new_instrs[b].append(&mut phi_stores);
+        edits.flush_phi_stores(b);
     }
 
-    let blocks: Vec<Block> = (0..n)
-        .map(|b| {
-            let mut instrs = std::mem::take(&mut new_instrs[b]);
-            instrs.append(&mut pred_tail[b]);
-            Block {
-                instrs,
-                succs: f.blocks[b].succs.clone(),
-                preds: Vec::new(),
-            }
-        })
-        .collect();
+    let blocks = edits.finish(f);
     let mut out = Function {
         name: f.name.clone(),
         blocks,

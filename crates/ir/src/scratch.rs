@@ -19,11 +19,17 @@
 //! bit. Reuse is a pure allocation saving; results are identical to
 //! the scratch-free paths, and a property test pins that.
 //!
+//! The per-round IR rewrites (spill insertion, splitting,
+//! rematerialization) recycle their block-edit buffers the same way:
+//! see [`crate::block_edits::BlockEdits`], owned here and handed out
+//! to the rewrites' `_in` entry points.
+//!
 //! What is deliberately **not** in here: the interference adjacency
-//! bit rows. `lra_graph::Graph::from_bit_rows` retains the rows inside
-//! the returned graph (they back `neighbor_row`), so they are output,
-//! not scratch.
+//! matrix. `lra_graph::Graph::from_bit_matrix` retains the packed
+//! matrix inside the returned graph (it backs `neighbor_row`), so it
+//! is output, not scratch.
 
+use crate::block_edits::BlockEdits;
 use lra_graph::BitSet;
 
 /// Recyclable buffers for one worker's analyses. See the
@@ -49,6 +55,8 @@ pub struct AnalysisScratch {
     pub(crate) phi_defs: Vec<Option<BitSet>>,
     /// Recycled per-block transfer sets (φ uses charged to preds).
     pub(crate) phi_out: Vec<Option<BitSet>>,
+    /// Recycled block-edit buffers for the per-round IR rewrites.
+    pub(crate) edits: BlockEdits,
 }
 
 impl AnalysisScratch {
@@ -62,6 +70,13 @@ impl AnalysisScratch {
     pub(crate) fn live_for(&mut self, nv: usize) -> &mut BitSet {
         self.live.reset(nv);
         &mut self.live
+    }
+
+    /// The recycled block-edit buffers, emptied and sized to `n`
+    /// blocks.
+    pub(crate) fn edits_for(&mut self, n: usize) -> &mut BlockEdits {
+        self.edits.reset(n);
+        &mut self.edits
     }
 }
 

@@ -10,7 +10,8 @@
 
 #![allow(clippy::needless_range_loop)] // parallel arrays indexed by block id
 
-use crate::cfg::{Block, Function, Instr, Opcode, Value};
+use crate::cfg::{Function, Instr, Opcode, Value};
+use crate::scratch::AnalysisScratch;
 use lra_graph::BitSet;
 
 /// Statistics of a spill-everywhere rewrite.
@@ -92,6 +93,16 @@ pub fn insert_spill_code(f: &Function, spilled: &BitSet) -> (Function, SpillStat
 /// blocks and values were touched so the next analysis round can be
 /// incremental.
 pub fn rewrite_spill_code(f: &Function, spilled: &BitSet) -> SpillRewrite {
+    rewrite_spill_code_in(f, spilled, &mut AnalysisScratch::new())
+}
+
+/// [`rewrite_spill_code`] with caller-provided scratch for the
+/// block-edit buffers; identical output.
+pub fn rewrite_spill_code_in(
+    f: &Function,
+    spilled: &BitSet,
+    scratch: &mut AnalysisScratch,
+) -> SpillRewrite {
     let mut next_value = f.value_count;
     let mut stats = SpillStats::default();
     let mut fresh = || {
@@ -103,14 +114,12 @@ pub fn rewrite_spill_code(f: &Function, spilled: &BitSet) -> SpillRewrite {
     // New instruction lists per block; φ reloads append to predecessors,
     // so build bodies first then splice pred tails.
     let n = f.block_count();
-    let mut new_instrs: Vec<Vec<Instr>> = vec![Vec::new(); n];
-    let mut pred_tail: Vec<Vec<Instr>> = vec![Vec::new(); n]; // reloads at block end
+    let edits = scratch.edits_for(n);
     let mut dirty = BitSet::new(n);
 
     for b in 0..n {
         // Stores for spilled φ defs must wait until after the whole φ
         // run (φs are parallel and must stay first in the block).
-        let mut phi_stores: Vec<Instr> = Vec::new();
         for instr in &f.blocks[b].instrs {
             let mut instr = instr.clone();
             let is_phi = instr.opcode == Opcode::Phi;
@@ -120,19 +129,19 @@ pub fn rewrite_spill_code(f: &Function, spilled: &BitSet) -> SpillRewrite {
                         let r = fresh();
                         stats.loads += 1;
                         let p = f.blocks[b].preds[i];
-                        pred_tail[p.index()].push(Instr::new(Opcode::Load, Some(r), vec![]));
+                        edits.tails[p.index()].push(Instr::new(Opcode::Load, Some(r), vec![]));
                         *u = r;
                         dirty.insert(b);
                         dirty.insert(p.index());
                     }
                 }
             } else {
-                new_instrs[b].append(&mut phi_stores);
+                edits.flush_phi_stores(b);
                 for u in instr.uses.iter_mut() {
                     if spilled.contains(u.index()) {
                         let r = fresh();
                         stats.loads += 1;
-                        new_instrs[b].push(Instr::new(Opcode::Load, Some(r), vec![]));
+                        edits.bodies[b].push(Instr::new(Opcode::Load, Some(r), vec![]));
                         *u = r;
                         dirty.insert(b);
                     }
@@ -140,32 +149,22 @@ pub fn rewrite_spill_code(f: &Function, spilled: &BitSet) -> SpillRewrite {
             }
             let def_spilled = instr.def.is_some_and(|d| spilled.contains(d.index()));
             let def = instr.def;
-            new_instrs[b].push(instr);
+            edits.bodies[b].push(instr);
             if def_spilled {
                 stats.stores += 1;
                 dirty.insert(b);
                 let store = Instr::new(Opcode::Store, None, vec![def.expect("spilled def")]);
                 if is_phi {
-                    phi_stores.push(store);
+                    edits.phi_stores.push(store);
                 } else {
-                    new_instrs[b].push(store);
+                    edits.bodies[b].push(store);
                 }
             }
         }
-        new_instrs[b].append(&mut phi_stores);
+        edits.flush_phi_stores(b);
     }
 
-    let blocks: Vec<Block> = (0..n)
-        .map(|b| {
-            let mut instrs = std::mem::take(&mut new_instrs[b]);
-            instrs.append(&mut pred_tail[b]);
-            Block {
-                instrs,
-                succs: f.blocks[b].succs.clone(),
-                preds: Vec::new(),
-            }
-        })
-        .collect();
+    let blocks = edits.finish(f);
 
     let mut out = Function {
         name: f.name.clone(),
@@ -212,6 +211,16 @@ pub fn insert_spill_code_optimized(
 /// reporting the touched blocks and values for incremental
 /// re-analysis.
 pub fn rewrite_spill_code_optimized(f: &Function, spilled: &BitSet) -> SpillRewrite {
+    rewrite_spill_code_optimized_in(f, spilled, &mut AnalysisScratch::new())
+}
+
+/// [`rewrite_spill_code_optimized`] with caller-provided scratch for
+/// the block-edit buffers; identical output.
+pub fn rewrite_spill_code_optimized_in(
+    f: &Function,
+    spilled: &BitSet,
+    scratch: &mut AnalysisScratch,
+) -> SpillRewrite {
     let mut next_value = f.value_count;
     let mut stats = SpillStats::default();
     let mut saved = 0usize;
@@ -222,16 +231,13 @@ pub fn rewrite_spill_code_optimized(f: &Function, spilled: &BitSet) -> SpillRewr
     };
 
     let n = f.block_count();
-    let mut new_instrs: Vec<Vec<Instr>> = vec![Vec::new(); n];
-    let mut pred_tail: Vec<Vec<Instr>> = vec![Vec::new(); n];
+    let edits = scratch.edits_for(n);
     let mut dirty = BitSet::new(n);
 
     for b in 0..n {
         // spilled value -> reload already materialised in this block.
-        let mut reload_of: std::collections::HashMap<Value, Value> =
-            std::collections::HashMap::new();
+        edits.avail.clear();
         // Stores for spilled φ defs wait until after the φ run.
-        let mut phi_stores: Vec<Instr> = Vec::new();
         for instr in &f.blocks[b].instrs {
             let mut instr = instr.clone();
             let is_phi = instr.opcode == Opcode::Phi;
@@ -241,18 +247,18 @@ pub fn rewrite_spill_code_optimized(f: &Function, spilled: &BitSet) -> SpillRewr
                         let r = fresh(&mut next_value);
                         stats.loads += 1;
                         let p = f.blocks[b].preds[i];
-                        pred_tail[p.index()].push(Instr::new(Opcode::Load, Some(r), vec![]));
+                        edits.tails[p.index()].push(Instr::new(Opcode::Load, Some(r), vec![]));
                         *u = r;
                         dirty.insert(b);
                         dirty.insert(p.index());
                     }
                 }
             } else {
-                new_instrs[b].append(&mut phi_stores);
+                edits.flush_phi_stores(b);
                 for u in instr.uses.iter_mut() {
                     if spilled.contains(u.index()) {
                         dirty.insert(b);
-                        match reload_of.get(u) {
+                        match edits.avail.get(u) {
                             Some(&r) => {
                                 saved += 1;
                                 *u = r;
@@ -260,8 +266,8 @@ pub fn rewrite_spill_code_optimized(f: &Function, spilled: &BitSet) -> SpillRewr
                             None => {
                                 let r = fresh(&mut next_value);
                                 stats.loads += 1;
-                                new_instrs[b].push(Instr::new(Opcode::Load, Some(r), vec![]));
-                                reload_of.insert(*u, r);
+                                edits.bodies[b].push(Instr::new(Opcode::Load, Some(r), vec![]));
+                                edits.avail.insert(*u, r);
                                 *u = r;
                             }
                         }
@@ -273,34 +279,26 @@ pub fn rewrite_spill_code_optimized(f: &Function, spilled: &BitSet) -> SpillRewr
             if def_spilled {
                 // The freshly computed value is itself usable until the
                 // end of the block.
-                reload_of.insert(def.expect("spilled def"), def.expect("spilled def"));
+                edits
+                    .avail
+                    .insert(def.expect("spilled def"), def.expect("spilled def"));
             }
-            new_instrs[b].push(instr);
+            edits.bodies[b].push(instr);
             if def_spilled {
                 stats.stores += 1;
                 dirty.insert(b);
                 let store = Instr::new(Opcode::Store, None, vec![def.expect("spilled def")]);
                 if is_phi {
-                    phi_stores.push(store);
+                    edits.phi_stores.push(store);
                 } else {
-                    new_instrs[b].push(store);
+                    edits.bodies[b].push(store);
                 }
             }
         }
-        new_instrs[b].append(&mut phi_stores);
+        edits.flush_phi_stores(b);
     }
 
-    let blocks: Vec<Block> = (0..n)
-        .map(|b| {
-            let mut instrs = std::mem::take(&mut new_instrs[b]);
-            instrs.append(&mut pred_tail[b]);
-            Block {
-                instrs,
-                succs: f.blocks[b].succs.clone(),
-                preds: Vec::new(),
-            }
-        })
-        .collect();
+    let blocks = edits.finish(f);
     let mut out = Function {
         name: f.name.clone(),
         blocks,

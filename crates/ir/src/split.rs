@@ -26,8 +26,9 @@
 
 #![allow(clippy::needless_range_loop)] // parallel arrays indexed by block id
 
-use crate::cfg::{Block, Function, Instr, Opcode, Value};
+use crate::cfg::{Function, Instr, Opcode, Value};
 use crate::liveness::Liveness;
+use crate::scratch::AnalysisScratch;
 use lra_graph::BitSet;
 
 /// Result of [`split_at_uses`].
@@ -48,7 +49,13 @@ pub struct SplitFunction {
 /// placement spill reloads would take). Uses that are already copies
 /// are left alone to keep the transformation idempotent-ish.
 pub fn split_at_uses(f: &Function) -> SplitFunction {
-    split_uses_where(f, |_| true)
+    split_uses_where(f, |_| true, &mut AnalysisScratch::new())
+}
+
+/// [`split_at_uses`] with caller-provided scratch for the block-edit
+/// buffers; identical output.
+pub fn split_at_uses_in(f: &Function, scratch: &mut AnalysisScratch) -> SplitFunction {
+    split_uses_where(f, |_| true, scratch)
 }
 
 /// Splits the live ranges binding a stall point: every use of a value
@@ -76,6 +83,17 @@ pub fn split_at_uses(f: &Function) -> SplitFunction {
 /// assert!(split::split_pressure_ranges(&f, &live, 8).is_none()); // fits
 /// ```
 pub fn split_pressure_ranges(f: &Function, live: &Liveness, r: usize) -> Option<SplitFunction> {
+    split_pressure_ranges_in(f, live, r, &mut AnalysisScratch::new())
+}
+
+/// [`split_pressure_ranges`] with caller-provided scratch for the
+/// block-edit buffers; identical output.
+pub fn split_pressure_ranges_in(
+    f: &Function,
+    live: &Liveness,
+    r: usize,
+    scratch: &mut AnalysisScratch,
+) -> Option<SplitFunction> {
     let nv = f.value_count as usize;
     let mut hot = BitSet::new(nv);
     let mut any_hot_block = false;
@@ -89,13 +107,17 @@ pub fn split_pressure_ranges(f: &Function, live: &Liveness, r: usize) -> Option<
     if !any_hot_block || hot.is_empty() {
         return None;
     }
-    let split = split_uses_where(f, |v| hot.contains(v));
+    let split = split_uses_where(f, |v| hot.contains(v), scratch);
     (split.copies > 0).then_some(split)
 }
 
 /// The shared rewrite: one fresh copy before every use of a value
 /// selected by `want` (φ uses at the tail of the incoming predecessor).
-fn split_uses_where(f: &Function, want: impl Fn(usize) -> bool) -> SplitFunction {
+fn split_uses_where(
+    f: &Function,
+    want: impl Fn(usize) -> bool,
+    scratch: &mut AnalysisScratch,
+) -> SplitFunction {
     let mut next = f.value_count;
     let mut origin: Vec<Value> = (0..f.value_count).map(Value).collect();
     let mut copies = 0usize;
@@ -107,8 +129,7 @@ fn split_uses_where(f: &Function, want: impl Fn(usize) -> bool) -> SplitFunction
     };
 
     let n = f.block_count();
-    let mut new_instrs: Vec<Vec<Instr>> = vec![Vec::new(); n];
-    let mut pred_tail: Vec<Vec<Instr>> = vec![Vec::new(); n];
+    let edits = scratch.edits_for(n);
 
     for b in 0..n {
         for instr in &f.blocks[b].instrs {
@@ -122,7 +143,7 @@ fn split_uses_where(f: &Function, want: impl Fn(usize) -> bool) -> SplitFunction
                         let s = fresh(origin[u.index()], &mut origin);
                         copies += 1;
                         let p = f.blocks[b].preds[i];
-                        pred_tail[p.index()].push(Instr::new(Opcode::Copy, Some(s), vec![*u]));
+                        edits.tails[p.index()].push(Instr::new(Opcode::Copy, Some(s), vec![*u]));
                         *u = s;
                     }
                 }
@@ -134,26 +155,16 @@ fn split_uses_where(f: &Function, want: impl Fn(usize) -> bool) -> SplitFunction
                         }
                         let s = fresh(origin[u.index()], &mut origin);
                         copies += 1;
-                        new_instrs[b].push(Instr::new(Opcode::Copy, Some(s), vec![*u]));
+                        edits.bodies[b].push(Instr::new(Opcode::Copy, Some(s), vec![*u]));
                         *u = s;
                     }
                 }
             }
-            new_instrs[b].push(instr);
+            edits.bodies[b].push(instr);
         }
     }
 
-    let blocks: Vec<Block> = (0..n)
-        .map(|b| {
-            let mut instrs = std::mem::take(&mut new_instrs[b]);
-            instrs.append(&mut pred_tail[b]);
-            Block {
-                instrs,
-                succs: f.blocks[b].succs.clone(),
-                preds: Vec::new(),
-            }
-        })
-        .collect();
+    let blocks = edits.finish(f);
     let mut function = Function {
         name: format!("{}.split", f.name),
         blocks,

@@ -1,0 +1,106 @@
+//! Byte-identity of the recycled-scratch rewrite paths.
+//!
+//! Every `_in` entry point promises that reusing one
+//! [`AnalysisScratch`] across arbitrary functions produces output
+//! identical to a fresh scratch per call. These tests drive the spill,
+//! split and remat rewrites through one long-lived scratch over
+//! functions whose sizes swing up and down (so the recycled block-edit
+//! buffers are exercised both growing and shrinking) and compare every
+//! result against the scratch-free wrappers.
+
+use lra_graph::BitSet;
+use lra_ir::genprog::{random_ssa_function, SsaConfig};
+use lra_ir::remat::{rewrite_spill_code_remat, rewrite_spill_code_remat_in, RematTable};
+use lra_ir::spill_code::{
+    rewrite_spill_code, rewrite_spill_code_in, rewrite_spill_code_optimized,
+    rewrite_spill_code_optimized_in,
+};
+use lra_ir::split::{
+    split_at_uses, split_at_uses_in, split_pressure_ranges, split_pressure_ranges_in,
+};
+use lra_ir::{liveness, AnalysisScratch, Function};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Functions whose block and value counts swing by an order of
+/// magnitude in both directions, so a shared scratch must shrink as
+/// well as grow between calls.
+fn swinging_functions() -> Vec<Function> {
+    [30usize, 300, 60, 400, 20, 150]
+        .iter()
+        .enumerate()
+        .map(|(i, &sz)| {
+            let mut rng = ChaCha8Rng::seed_from_u64(i as u64 * 7 + 1);
+            let cfg = SsaConfig {
+                target_instrs: sz,
+                liveness_window: 8,
+                ..SsaConfig::default()
+            };
+            random_ssa_function(&mut rng, &cfg, format!("swing{i}"))
+        })
+        .collect()
+}
+
+/// Every other defined value, as a spill set.
+fn alternating_spill_set(f: &Function) -> BitSet {
+    let nv = f.value_count as usize;
+    BitSet::from_iter_with_capacity(nv, (0..nv).step_by(2))
+}
+
+#[test]
+fn spill_rewrites_reuse_matches_fresh_across_size_swings() {
+    let mut shared = AnalysisScratch::new();
+    for f in &swinging_functions() {
+        let spilled = alternating_spill_set(f);
+
+        let fresh = rewrite_spill_code(f, &spilled);
+        let reused = rewrite_spill_code_in(f, &spilled, &mut shared);
+        assert_eq!(fresh.function, reused.function, "{}: plain", f.name);
+        assert_eq!(fresh.stats, reused.stats);
+
+        let fresh = rewrite_spill_code_optimized(f, &spilled);
+        let reused = rewrite_spill_code_optimized_in(f, &spilled, &mut shared);
+        assert_eq!(fresh.function, reused.function, "{}: optimized", f.name);
+        assert_eq!(fresh.stats, reused.stats);
+        assert_eq!(fresh.saved_loads, reused.saved_loads);
+    }
+}
+
+#[test]
+fn remat_rewrite_reuse_matches_fresh_across_size_swings() {
+    let mut shared = AnalysisScratch::new();
+    for f in &swinging_functions() {
+        let spilled = alternating_spill_set(f);
+        let mut fresh_table = RematTable::compute(f);
+        let mut reused_table = RematTable::compute(f);
+        let fresh = rewrite_spill_code_remat(f, &spilled, &mut fresh_table, true);
+        let reused = rewrite_spill_code_remat_in(f, &spilled, &mut reused_table, true, &mut shared);
+        assert_eq!(fresh.function, reused.function, "{}", f.name);
+        assert_eq!(fresh.stats, reused.stats);
+    }
+}
+
+#[test]
+fn split_rewrites_reuse_matches_fresh_across_size_swings() {
+    let mut shared = AnalysisScratch::new();
+    for f in &swinging_functions() {
+        let fresh = split_at_uses(f);
+        let reused = split_at_uses_in(f, &mut shared);
+        assert_eq!(fresh.function, reused.function, "{}: at uses", f.name);
+        assert_eq!(fresh.origin, reused.origin);
+        assert_eq!(fresh.copies, reused.copies);
+
+        let live = liveness::analyze(f);
+        let fresh = split_pressure_ranges(f, &live, 3);
+        let reused = split_pressure_ranges_in(f, &live, 3, &mut shared);
+        match (fresh, reused) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_eq!(a.function, b.function, "{}: pressure", f.name);
+                assert_eq!(a.origin, b.origin);
+                assert_eq!(a.copies, b.copies);
+            }
+            _ => panic!("{}: splittability must not depend on scratch reuse", f.name),
+        }
+    }
+}

@@ -11,9 +11,10 @@
 //!
 //! Results are lost when the process exits unless `CRITERION_SHIM_JSON`
 //! names a file: then every benchmark also appends one JSON line
-//! (`{"group": …, "bench": …, "mean_ns": …, "iters": …}`), so bench
-//! numbers can be persisted in-tree alongside `BENCH_batch.json` (see
-//! the repo's `BENCH_*.json` convention).
+//! (`{"group": …, "bench": …, "mean_ns": …, "iters": …}`, plus any
+//! [`BenchmarkGroup::metric`] columns), so bench numbers can be
+//! persisted in-tree alongside `BENCH_batch.json` (see the repo's
+//! `BENCH_*.json` convention).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +36,7 @@ impl Criterion {
             name,
             samples: default_samples(),
             throughput: None,
+            metrics: Vec::new(),
         }
     }
 }
@@ -52,6 +54,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     samples: usize,
     throughput: Option<Throughput>,
+    metrics: Vec<(String, u64)>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -64,6 +67,18 @@ impl BenchmarkGroup<'_> {
     /// Declares the work per iteration for derived rates.
     pub fn throughput(&mut self, t: Throughput) -> &mut Self {
         self.throughput = Some(t);
+        self
+    }
+
+    /// Attaches a bench-computed side metric (e.g. a resident-memory
+    /// estimate) to every subsequent benchmark of this group: each
+    /// persisted JSON line gains a `"key": value` column. Shim
+    /// extension — upstream criterion has no equivalent, so benches
+    /// that must also compile there should gate calls on the shim.
+    pub fn metric(&mut self, key: impl Into<String>, value: u64) -> &mut Self {
+        let key = key.into();
+        self.metrics.retain(|(k, _)| k != &key);
+        self.metrics.push((key, value));
         self
     }
 
@@ -115,7 +130,7 @@ impl BenchmarkGroup<'_> {
             "{}/{id}: {per_iter:?}/iter over {} iters{rate}",
             self.name, bencher.iters
         );
-        persist_json(&self.name, &id, per_iter, bencher.iters);
+        persist_json(&self.name, &id, per_iter, bencher.iters, &self.metrics);
     }
 
     /// Ends the group (printing is incremental, so this is a no-op).
@@ -123,9 +138,17 @@ impl BenchmarkGroup<'_> {
 }
 
 /// Appends one JSON line per benchmark to the file named by
-/// `CRITERION_SHIM_JSON`, if set. Failures are silent: persistence is
-/// best-effort and must never fail a bench run.
-fn persist_json(group: &str, id: &str, per_iter: Duration, iters: usize) {
+/// `CRITERION_SHIM_JSON`, if set, with any group-level
+/// [`BenchmarkGroup::metric`] columns after the timing fields.
+/// Failures are silent: persistence is best-effort and must never fail
+/// a bench run.
+fn persist_json(
+    group: &str,
+    id: &str,
+    per_iter: Duration,
+    iters: usize,
+    metrics: &[(String, u64)],
+) {
     let Ok(path) = std::env::var("CRITERION_SHIM_JSON") else {
         return;
     };
@@ -133,8 +156,12 @@ fn persist_json(group: &str, id: &str, per_iter: Duration, iters: usize) {
         return;
     }
     let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let extra: String = metrics
+        .iter()
+        .map(|(k, v)| format!(", \"{}\": {v}", escape(k)))
+        .collect();
     let line = format!(
-        "{{\"group\": \"{}\", \"bench\": \"{}\", \"mean_ns\": {}, \"iters\": {}}}\n",
+        "{{\"group\": \"{}\", \"bench\": \"{}\", \"mean_ns\": {}, \"iters\": {}{extra}}}\n",
         escape(group),
         escape(id),
         per_iter.as_nanos(),
