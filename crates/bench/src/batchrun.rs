@@ -302,6 +302,14 @@ pub struct RecordedServiceRun {
     pub cache_hit_rate_warm: f64,
     /// Most requests ever queued at once.
     pub queue_high_water: usize,
+    /// Requests served on the degraded (cheap-tier-only) path. The
+    /// record runs carry no degrade watermark, so this stays 0 — the
+    /// field exists so the baseline schema matches what an
+    /// overload-configured server reports.
+    pub degraded: u64,
+    /// Requests shed at dequeue because their deadline had expired.
+    /// Record requests carry no deadline, so this stays 0.
+    pub deadline_exceeded: u64,
 }
 
 /// Queue capacity the service-throughput experiment runs under —
@@ -381,6 +389,8 @@ pub fn record_service(seed: u64, worker_counts: &[usize]) -> Vec<RecordedService
                 cache_hit_rate_cold: stats_cold.since(&stats_start).hit_rate(),
                 cache_hit_rate_warm: stats_warm.since(&stats_cold).hit_rate(),
                 queue_high_water: metrics.queue_high_water,
+                degraded: metrics.degraded,
+                deadline_exceeded: metrics.deadline_exceeded,
             }
         })
         .collect()
@@ -398,7 +408,7 @@ pub fn to_json(
     let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"lra-bench/batch-v4\",");
+    let _ = writeln!(s, "  \"schema\": \"lra-bench/batch-v5\",");
     let _ = writeln!(s, "  \"seed\": {seed},");
     s.push_str("  \"experiments\": [\n");
     for (i, e) in experiments.iter().enumerate() {
@@ -441,7 +451,7 @@ pub fn to_json(
     for (i, r) in service.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\"workers\": {}, \"requests\": {}, \"queue_capacity\": {}, \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"throughput_cold_per_s\": {:.1}, \"throughput_warm_per_s\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"cache_hit_rate_cold\": {:.3}, \"cache_hit_rate_warm\": {:.3}, \"queue_high_water\": {}}}",
+            "    {{\"workers\": {}, \"requests\": {}, \"queue_capacity\": {}, \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"throughput_cold_per_s\": {:.1}, \"throughput_warm_per_s\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"cache_hit_rate_cold\": {:.3}, \"cache_hit_rate_warm\": {:.3}, \"queue_high_water\": {}, \"degraded\": {}, \"deadline_exceeded\": {}}}",
             r.workers,
             r.requests,
             SERVICE_RECORD_QUEUE_CAPACITY,
@@ -453,7 +463,9 @@ pub fn to_json(
             r.p95_us,
             r.cache_hit_rate_cold,
             r.cache_hit_rate_warm,
-            r.queue_high_water
+            r.queue_high_water,
+            r.degraded,
+            r.deadline_exceeded
         );
         s.push_str(if i + 1 < service.len() { ",\n" } else { "\n" });
     }
@@ -508,7 +520,7 @@ mod tests {
         }
 
         let json = to_json(3, &recorded, &[]);
-        assert!(json.contains("\"schema\": \"lra-bench/batch-v4\""));
+        assert!(json.contains("\"schema\": \"lra-bench/batch-v5\""));
         assert!(json.contains("\"escalated\""));
         assert!(json.contains("\"min_ms\""));
         assert!(json.contains("\"threads\": 1"));

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod batchrun;
+pub mod chaos;
 pub mod experiments;
 pub mod stats;
 pub mod suites;

@@ -9,6 +9,7 @@
 //! cargo run --release -p lra-bench -- batch --policy portfolio
 //! cargo run --release -p lra-bench -- portfolio --budget-nodes 100000
 //! cargo run --release -p lra-bench -- record           # BENCH_batch.json
+//! cargo run --release -p lra-bench -- chaos --seed 7   # fault-injected soak
 //! ```
 //!
 //! Tables are printed to stdout and mirrored as CSV under
@@ -27,7 +28,7 @@ use std::io::Write as _;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lra-bench <fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablation|inclusion|bls-sweep|split|ssa|stats|pipeline|batch|portfolio|serve|loadgen|record|all> [--seed N] [--threads N] [--out PATH] [--policy NAME] [--budget-nodes N] [--budget-ms N] [--addr HOST:PORT] [--queue N] [--repeat N] [--local] [--shutdown]"
+        "usage: lra-bench <fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablation|inclusion|bls-sweep|split|ssa|stats|pipeline|batch|portfolio|serve|loadgen|chaos|record|all> [--seed N] [--threads N] [--out PATH] [--policy NAME] [--budget-nodes N] [--budget-ms N] [--addr HOST:PORT] [--queue N] [--repeat N] [--local] [--shutdown] [--panic-every N] [--latency-every N] [--latency-ms N] [--drop-every N]"
     );
     std::process::exit(2)
 }
@@ -102,6 +103,39 @@ fn run_loadgen(addr: &str, seed: u64, repeat: usize, local: bool, send_shutdown:
             std::process::exit(1);
         }
     }
+}
+
+/// `chaos`: soak the jit-large corpus against an in-process server
+/// with seeded fault injection (worker panics, added latency, severed
+/// connections). Each pass's surviving report goes to stdout in the
+/// exact `loadgen` format — CI diffs it against `loadgen --local` —
+/// and the chaos log (injected-fault and recovery counts) to stderr.
+/// The harness itself asserts the exactly-once and byte-identity
+/// contracts and panics on any violation.
+fn run_chaos(
+    seed: u64,
+    threads: usize,
+    queue: usize,
+    repeat: usize,
+    plan: lra_service::fault::FaultPlan,
+) {
+    let outcome = lra_bench::chaos::run(seed, threads, queue, repeat, plan);
+    for pass in &outcome.passes {
+        print!("{pass}");
+        println!();
+    }
+    eprintln!(
+        "(chaos: {} passes, faults injected: {} panics / {} latencies / {} drops; \
+         client recovered with {} reconnects, {} resubmits, {} queue-full retries)",
+        outcome.passes.len(),
+        outcome.faults.panics,
+        outcome.faults.latencies,
+        outcome.faults.drops,
+        outcome.reconnects,
+        outcome.resubmits,
+        outcome.queue_full
+    );
+    eprintln!("(server drained: {})", outcome.metrics.render());
 }
 
 /// `batch`: fan the standard corpora (lao-kernels + SPEC JVM98 +
@@ -284,6 +318,10 @@ fn main() {
     let mut repeat = 1usize;
     let mut local = false;
     let mut send_shutdown = false;
+    let mut panic_every = 7u64;
+    let mut latency_every = 5u64;
+    let mut latency_ms = 2u64;
+    let mut drop_every = 9u64;
     let mut which = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -337,6 +375,32 @@ fn main() {
                     .filter(|&n| n > 0)
                     .unwrap_or_else(|| usage());
             }
+            "--panic-every" => {
+                panic_every = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n != 1)
+                    .unwrap_or_else(|| usage());
+            }
+            "--latency-every" => {
+                latency_every = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--latency-ms" => {
+                latency_ms = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--drop-every" => {
+                drop_every = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n != 1)
+                    .unwrap_or_else(|| usage());
+            }
             "--local" => local = true,
             "--shutdown" => send_shutdown = true,
             "all" => which.extend([
@@ -377,6 +441,7 @@ fn main() {
             "portfolio" => which.push("portfolio"),
             "serve" => which.push("serve"),
             "loadgen" => which.push("loadgen"),
+            "chaos" => which.push("chaos"),
             "record" => which.push("record"),
             _ => usage(),
         }
@@ -551,6 +616,17 @@ fn main() {
             "portfolio" => run_portfolio(seed, budget_nodes, budget_ms),
             "serve" => run_serve(&addr, threads, queue),
             "loadgen" => run_loadgen(&addr, seed, repeat, local, send_shutdown),
+            "chaos" => run_chaos(
+                seed,
+                threads,
+                queue,
+                repeat,
+                lra_service::fault::FaultPlan::new()
+                    .seed(seed)
+                    .panic_every(panic_every)
+                    .latency_every(latency_every, std::time::Duration::from_millis(latency_ms))
+                    .drop_every(drop_every),
+            ),
             "record" => run_record(seed, &out),
             "stats" => {
                 for (title, suite) in [

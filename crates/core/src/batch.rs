@@ -299,6 +299,26 @@ pub fn allocate_item_with(
     }
 }
 
+/// [`allocate_item_with`] under a remaining wall-clock budget: with
+/// `remaining` set the pipeline runs with
+/// [`AllocationPipeline::time_budget`] applied (a `Portfolio` caps its
+/// exact tier at the deadline and degrades to the cheap tier's answer
+/// past it), with `None` it is exactly [`allocate_item_with`]. This is
+/// the per-item engine the `lra-service` worker pool calls for
+/// deadline-carrying requests; budget-free requests stay on the
+/// byte-identical batch path.
+pub fn allocate_item_deadline(
+    pipeline: &AllocationPipeline,
+    f: &Function,
+    scratch: &mut WorkerScratch,
+    remaining: Option<Duration>,
+) -> BatchItem {
+    match remaining {
+        Some(budget) => allocate_item_with(&pipeline.clone().time_budget(Some(budget)), f, scratch),
+        None => allocate_item_with(pipeline, f, scratch),
+    }
+}
+
 /// Renders a caught panic payload as the human-readable message
 /// `panic!` was invoked with (the payload is a `&str` or `String` for
 /// every formatted panic; anything else is reported opaquely).
@@ -776,6 +796,40 @@ mod tests {
         let report = BatchAllocator::new(pipeline()).run(&fs);
         assert_eq!(render_rows(&report.rows()), report.render());
         assert_eq!(BatchSummary::from_rows(&report.rows()), report.summary);
+    }
+
+    #[test]
+    fn allocate_item_deadline_without_a_budget_is_the_batch_path() {
+        let fs = corpus(3);
+        let p = pipeline();
+        let mut scratch = WorkerScratch::new();
+        for f in &fs {
+            let plain = allocate_item(&p, f);
+            let budgetless = allocate_item_deadline(&p, f, &mut scratch, None);
+            assert_eq!(plain.row(), budgetless.row());
+        }
+    }
+
+    #[test]
+    fn allocate_item_deadline_with_an_expired_budget_still_answers() {
+        use crate::portfolio::PortfolioConfig;
+        // An already-expired budget must not error or hang: the
+        // portfolio degrades to its cheap tier and the item carries a
+        // normal report (identical to a cheap-tier-only run).
+        let fs = corpus(2);
+        let p = AllocationPipeline::new(Target::new(TargetKind::St231))
+            .portfolio(PortfolioConfig::default())
+            .registers(3);
+        let cheap = AllocationPipeline::new(Target::new(TargetKind::St231))
+            .portfolio(PortfolioConfig::default().node_budget(0))
+            .registers(3);
+        let mut scratch = WorkerScratch::new();
+        for f in &fs {
+            let item = allocate_item_deadline(&p, f, &mut scratch, Some(Duration::ZERO));
+            assert!(item.outcome.is_ok(), "{}", f.name);
+            let reference = allocate_item_with(&cheap, f, &mut scratch);
+            assert_eq!(item.row(), reference.row(), "{}", f.name);
+        }
     }
 
     #[test]

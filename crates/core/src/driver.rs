@@ -264,6 +264,44 @@ impl AllocationPipeline {
         self
     }
 
+    /// Applies (or clears) a per-run wall-clock budget.
+    ///
+    /// On a `Portfolio` pipeline the budget flows into
+    /// [`PortfolioConfig::time_budget`], so the exact escalation tier
+    /// aborts cooperatively once the deadline passes and the cheap
+    /// tier's answer is kept — the paper's graceful-degradation
+    /// contract. The heuristic tiers are polynomial and fast, so on a
+    /// directly-selected allocator there is nothing to bound and the
+    /// call is a no-op. A `Some(Duration::ZERO)` budget is already
+    /// expired: the portfolio degrades deterministically to its cheap
+    /// tier (see [`PortfolioConfig::time_budget`]).
+    pub fn time_budget(mut self, budget: Option<std::time::Duration>) -> Self {
+        if self.allocator.eq_ignore_ascii_case("Portfolio") {
+            self.portfolio = Some(
+                self.portfolio
+                    .take()
+                    .unwrap_or_default()
+                    .time_budget(budget),
+            );
+        }
+        self
+    }
+
+    /// The load-shedding variant of this pipeline: the split + remat
+    /// escalation tier is forced off and a `Portfolio` allocator is
+    /// pinned to its cheap tier (zero node fuel), so every request
+    /// completes in polynomial time. Used by the serving layer when a
+    /// queue-depth watermark trips — throughput bends (cheaper, maybe
+    /// costlier allocations) instead of breaking (rejections).
+    pub fn degraded(&self) -> Self {
+        let mut p = self.clone();
+        p.escalation = Some(false);
+        if p.allocator.eq_ignore_ascii_case("Portfolio") {
+            p.portfolio = Some(p.portfolio.take().unwrap_or_default().node_budget(0));
+        }
+        p
+    }
+
     /// Whether a non-converged run of this pipeline enters the
     /// split + remat escalation tier (the resolution of the
     /// [`AllocationPipeline::escalation`] builder, the
@@ -1078,6 +1116,60 @@ mod tests {
             !with_cfg(PortfolioConfig::default().time_budget(Some(std::time::Duration::ZERO))),
             "an expired time budget likewise degrades to the cheap tier"
         );
+    }
+
+    #[test]
+    fn time_budget_flows_into_the_portfolio_config() {
+        use crate::portfolio::PortfolioConfig;
+        let t = Target::new(TargetKind::St231);
+        // An expired budget degrades the portfolio to its cheap tier,
+        // which escalation_enabled() observes.
+        let expired = AllocationPipeline::new(t)
+            .allocator("Portfolio")
+            .time_budget(Some(std::time::Duration::ZERO));
+        assert!(!expired.escalation_enabled());
+        // A live budget keeps escalation available.
+        let live = AllocationPipeline::new(t)
+            .portfolio(PortfolioConfig::default())
+            .time_budget(Some(std::time::Duration::from_secs(5)));
+        assert!(live.escalation_enabled());
+        // On a directly-selected allocator the call is a no-op: no
+        // portfolio config materialises.
+        let lh = AllocationPipeline::new(t)
+            .allocator("LH")
+            .time_budget(Some(std::time::Duration::ZERO));
+        assert!(lh.portfolio.is_none());
+        // Clearing the budget restores the default behaviour.
+        let cleared = expired.time_budget(None);
+        assert!(cleared.escalation_enabled());
+    }
+
+    #[test]
+    fn degraded_pipelines_pin_the_cheap_tier() {
+        use crate::portfolio::PortfolioConfig;
+        let t = Target::new(TargetKind::St231);
+        let base = AllocationPipeline::new(t)
+            .portfolio(PortfolioConfig::default().node_budget(50_000))
+            .escalation(true);
+        assert!(base.escalation_enabled());
+        let shed = base.degraded();
+        assert!(!shed.escalation_enabled(), "degraded runs never escalate");
+        assert_eq!(
+            shed.portfolio.as_ref().map(|cfg| cfg.node_budget),
+            Some(0),
+            "degraded portfolios run cheap-tier-only"
+        );
+        // The original pipeline is untouched (degraded() clones).
+        assert!(base.escalation_enabled());
+        // A degraded run still completes and verifies.
+        let f = small_function(7);
+        let report = shed.registers(3).run(&f).expect("cheap tier still runs");
+        assert!(report.verdict.is_feasible());
+        assert!(!report.escalated);
+        // Non-portfolio pipelines degrade to escalation-off only.
+        let lh = AllocationPipeline::new(t).allocator("LH").degraded();
+        assert!(lh.portfolio.is_none());
+        assert!(!lh.escalation_enabled());
     }
 
     #[test]

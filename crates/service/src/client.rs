@@ -3,13 +3,88 @@
 //! responses into submission-ordered [`ReportRow`]s whose rendering is
 //! byte-identical to a local batch run.
 
-use crate::proto::{self, Json, Response};
+use crate::proto::{self, Json, RejectReason, Response};
 use lra_core::batch::{render_rows, ReportRow};
 use lra_ir::{textio, Function};
 use std::collections::BTreeMap;
 use std::io::{self, BufRead as _, BufReader, Write as _};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
+
+/// The 64-bit splitmix finalizer, used to derive deterministic retry
+/// jitter from (seed, request id, attempt) — no RNG state to carry.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Capped exponential backoff with deterministic jitter for
+/// `queue_full` resubmissions, plus a retry budget so a wedged server
+/// fails the run fast instead of spinning forever.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Resubmissions allowed **per request** before the run fails
+    /// with a `retry budget exhausted` error.
+    pub budget: u32,
+    /// First backoff; attempt `n` waits `base * 2^n`, jittered.
+    pub base: Duration,
+    /// Ceiling on any single backoff.
+    pub cap: Duration,
+    /// Jitter seed: the same (seed, id, attempt) always waits the
+    /// same time, so load tests stay reproducible.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 1000 resubmissions per request, 200µs doubling to a 20ms cap.
+    /// Deep enough that a healthy-but-saturated server (CI runs a
+    /// 27-method corpus against a queue of 8) never exhausts it; a
+    /// *dead* server fails faster still, via the transport error.
+    fn default() -> Self {
+        RetryPolicy {
+            budget: 1000,
+            base: Duration::from_micros(200),
+            cap: Duration::from_millis(20),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Sets the per-request resubmission budget.
+    pub fn budget(mut self, attempts: u32) -> Self {
+        self.budget = attempts;
+        self
+    }
+
+    /// Sets the backoff range (first wait and ceiling).
+    pub fn backoff_range(mut self, base: Duration, cap: Duration) -> Self {
+        self.base = base;
+        self.cap = cap;
+        self
+    }
+
+    /// Sets the jitter seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The wait before resubmission number `attempt` (0-based) of
+    /// request `id`: `base * 2^attempt` capped at `cap`, scaled into
+    /// `[1/2, 1]` of itself by deterministic jitter so synchronized
+    /// clients desynchronize instead of stampeding in lockstep.
+    pub fn backoff(&self, id: u64, attempt: u32) -> Duration {
+        let exp = (self.base.as_nanos() as u64)
+            .checked_shl(attempt.min(24))
+            .unwrap_or(u64::MAX)
+            .min(self.cap.as_nanos() as u64);
+        let h = splitmix64(self.seed ^ id.wrapping_mul(0x9E37_79B9) ^ u64::from(attempt));
+        Duration::from_nanos(exp / 2 + (exp / 2) * (h % 1024) / 1024)
+    }
+}
 
 /// How many alloc requests the client keeps in flight. Well above any
 /// sensible queue capacity, so the server's backpressure — not the
@@ -22,6 +97,8 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     next_id: u64,
+    retry: RetryPolicy,
+    deadline_ms: Option<u64>,
 }
 
 /// What a [`Client::allocate_all`] run produced.
@@ -68,7 +145,24 @@ impl Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
             next_id: 0,
+            retry: RetryPolicy::default(),
+            deadline_ms: None,
         })
+    }
+
+    /// Replaces the `queue_full` resubmission policy.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Attaches a relative deadline (milliseconds) to every alloc
+    /// request this client sends; a request still queued server-side
+    /// past it comes back as a `deadline_exceeded` error row instead
+    /// of a report. `None` (the default) sends no deadline.
+    pub fn deadline_ms(mut self, ms: Option<u64>) -> Self {
+        self.deadline_ms = ms;
+        self
     }
 
     /// Connects with retries — the load generator's default, so it can
@@ -111,19 +205,22 @@ impl Client {
     }
 
     /// Ships every function through the server (pipelined up to a
-    /// fixed window, resubmitting `queue_full` rejections with a short
-    /// backoff) and returns the rows in submission order.
+    /// fixed window, resubmitting `queue_full` rejections under the
+    /// [`RetryPolicy`]) and returns the rows in submission order. A
+    /// `deadline_exceeded` rejection is final — it becomes the
+    /// request's error row, not a retry.
     ///
     /// # Errors
     ///
-    /// Fails on transport errors, protocol violations, or a server
-    /// that starts shutting down mid-run.
+    /// Fails on transport errors, protocol violations, an exhausted
+    /// retry budget, or a server that starts shutting down mid-run.
     pub fn allocate_all(&mut self, functions: &[Function]) -> io::Result<LoadResult> {
         let base = self.next_id;
         self.next_id += functions.len() as u64;
         let texts: Vec<String> = functions.iter().map(textio::print).collect();
         let mut rows: Vec<Option<ReportRow>> = vec![None; functions.len()];
         let mut pending: std::collections::VecDeque<usize> = (0..functions.len()).collect();
+        let mut attempts: Vec<u32> = vec![0; functions.len()];
         let mut outstanding = 0usize;
         let mut done = 0usize;
         let mut retries = 0u64;
@@ -144,7 +241,9 @@ impl Client {
         while done < functions.len() {
             while outstanding < PIPELINE_WINDOW {
                 let Some(k) = pending.pop_front() else { break };
-                self.send_line(&proto::alloc_request(base + k as u64, &texts[k]))?;
+                let req =
+                    proto::alloc_request_deadline(base + k as u64, &texts[k], self.deadline_ms);
+                self.send_line(&req)?;
                 outstanding += 1;
             }
             match self.read_response()? {
@@ -160,13 +259,42 @@ impl Client {
                     outstanding -= 1;
                     done += 1;
                 }
-                Response::Rejected { id } => {
-                    // Backpressure: give the worker pool a beat to
-                    // drain before resubmitting.
-                    retries += 1;
+                Response::Rejected { id, reason } => {
+                    let k = index_of(id)?;
                     outstanding -= 1;
-                    pending.push_back(index_of(id)?);
-                    std::thread::sleep(Duration::from_micros(500));
+                    match reason {
+                        RejectReason::QueueFull => {
+                            // Backpressure: resubmission can succeed
+                            // once the pool drains — back off first,
+                            // capped-exponentially with deterministic
+                            // jitter, up to the retry budget.
+                            let attempt = attempts[k];
+                            if attempt >= self.retry.budget {
+                                return Err(io::Error::other(format!(
+                                    "retry budget exhausted: request {id} rejected {attempt} times"
+                                )));
+                            }
+                            attempts[k] = attempt + 1;
+                            retries += 1;
+                            pending.push_back(k);
+                            std::thread::sleep(self.retry.backoff(id, attempt));
+                        }
+                        RejectReason::DeadlineExceeded => {
+                            // Final: the budget the request carried is
+                            // spent; resubmitting cannot help.
+                            if rows[k].is_some() {
+                                return Err(io::Error::new(
+                                    io::ErrorKind::InvalidData,
+                                    format!("duplicate response id {id}"),
+                                ));
+                            }
+                            rows[k] = Some(ReportRow {
+                                function: functions[k].name.clone(),
+                                outcome: Err("deadline_exceeded".to_string()),
+                            });
+                            done += 1;
+                        }
+                    }
                 }
                 Response::Other { fields, .. } => {
                     let msg = fields

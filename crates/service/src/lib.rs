@@ -23,7 +23,14 @@
 //! * a TCP front end ([`server::serve`]) speaking a JSON-lines
 //!   protocol ([`proto`]) whose functions travel as
 //!   [`lra_ir::textio`] text, plus the matching pipelined
-//!   [`client::Client`] / load generator.
+//!   [`client::Client`] / load generator with a budgeted,
+//!   jittered-backoff retry loop ([`client::RetryPolicy`]).
+//! * an overload posture: requests may carry wall-clock deadlines
+//!   (shed unstarted at dequeue as `deadline_exceeded`), a queue
+//!   watermark that degrades service to the cheap allocator tier
+//!   under load, read/write timeouts on every connection, and — under
+//!   the `chaos` feature — deterministic fault injection ([`fault`])
+//!   for soak-testing the whole stack.
 //!
 //! Because every item is produced by [`lra_core::batch::allocate_item`]
 //! — the exact engine batch workers run — a service dump over a corpus
@@ -37,13 +44,18 @@
 #![warn(missing_docs)]
 
 pub mod client;
+#[cfg(any(test, feature = "chaos"))]
+pub mod fault;
 pub mod metrics;
 pub mod proto;
 pub mod queue;
 pub mod server;
 mod service;
 
-pub use client::{Client, LoadResult};
+pub use client::{Client, LoadResult, RetryPolicy};
 pub use metrics::ServiceMetrics;
 pub use server::{serve, Server};
-pub use service::{AllocationService, ServiceConfig, SubmitError, Ticket, DEFAULT_QUEUE_CAPACITY};
+pub use service::{
+    AllocationService, ServeOutcome, ServiceConfig, SubmitError, Ticket, DEFAULT_QUEUE_CAPACITY,
+    DEFAULT_READ_TIMEOUT,
+};

@@ -3,7 +3,7 @@
 
 use lra_core::cache::CacheStats;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
 /// The live counters the service updates as it runs; snapshotted into
@@ -11,6 +11,8 @@ use std::time::Duration;
 pub(crate) struct MetricsInner {
     served: AtomicU64,
     rejected: AtomicU64,
+    degraded: AtomicU64,
+    deadline_exceeded: AtomicU64,
     /// Per-request service times (enqueue to completion), in
     /// microseconds. Bounded: once full the reservoir stops growing —
     /// percentiles then describe the first window, which is enough for
@@ -30,6 +32,8 @@ impl MetricsInner {
         MetricsInner {
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
             service_us: Mutex::new(Vec::new()),
             cache_base,
         }
@@ -37,7 +41,10 @@ impl MetricsInner {
 
     pub(crate) fn record_served(&self, service_time: Duration) {
         self.served.fetch_add(1, Ordering::Relaxed);
-        let mut times = self.service_us.lock().expect("metrics lock");
+        let mut times = self
+            .service_us
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if times.len() < SERVICE_TIME_RESERVOIR {
             times.push(service_time.as_micros().min(u64::MAX as u128) as u64);
         }
@@ -47,6 +54,14 @@ impl MetricsInner {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(
         &self,
         queue_high_water: usize,
@@ -54,13 +69,18 @@ impl MetricsInner {
         workers: usize,
         cache_now: CacheStats,
     ) -> ServiceMetrics {
-        let times = self.service_us.lock().expect("metrics lock");
+        let times = self
+            .service_us
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let mut sorted = times.clone();
         drop(times);
         sorted.sort_unstable();
         ServiceMetrics {
             served: self.served.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             queue_high_water,
             queue_capacity,
             workers,
@@ -87,6 +107,14 @@ pub struct ServiceMetrics {
     pub served: u64,
     /// Submissions refused with `queue_full`.
     pub rejected: u64,
+    /// Requests served by the degraded (cheap-tier-only) pipeline
+    /// because the queue was above the configured watermark when a
+    /// worker picked them up. A subset of `served`.
+    pub degraded: u64,
+    /// Requests dropped at dequeue because their `deadline_ms` budget
+    /// had already run out — shed without burning a worker on an
+    /// answer nobody is waiting for.
+    pub deadline_exceeded: u64,
     /// Most requests ever queued at once.
     pub queue_high_water: usize,
     /// The configured queue capacity.
@@ -113,11 +141,14 @@ impl ServiceMetrics {
     /// part of any determinism contract).
     pub fn render(&self) -> String {
         format!(
-            "served {} | rejected {} | queue high-water {}/{} | workers {} | \
+            "served {} | rejected {} | degraded {} | deadline-exceeded {} | \
+             queue high-water {}/{} | workers {} | \
              cache hits {} misses {} evictions {} (hit rate {:.1}%) | \
              service time p50 {:.3} ms p95 {:.3} ms",
             self.served,
             self.rejected,
+            self.degraded,
+            self.deadline_exceeded,
             self.queue_high_water,
             self.queue_capacity,
             self.workers,
@@ -156,6 +187,9 @@ mod tests {
         inner.record_served(Duration::from_micros(100));
         inner.record_served(Duration::from_micros(300));
         inner.record_rejected();
+        inner.record_degraded();
+        inner.record_deadline_exceeded();
+        inner.record_deadline_exceeded();
         let now = CacheStats {
             hits: 14,
             misses: 9,
@@ -164,6 +198,8 @@ mod tests {
         let m = inner.snapshot(3, 8, 2, now);
         assert_eq!(m.served, 2);
         assert_eq!(m.rejected, 1);
+        assert_eq!(m.degraded, 1);
+        assert_eq!(m.deadline_exceeded, 2);
         assert_eq!(m.cache.hits, 4);
         assert_eq!(m.cache.misses, 4);
         assert_eq!(m.cache.evictions, 0);
@@ -171,5 +207,7 @@ mod tests {
         assert_eq!(m.p50, Duration::from_micros(100));
         assert_eq!(m.p95, Duration::from_micros(300));
         assert!(m.render().contains("served 2"));
+        assert!(m.render().contains("degraded 1"));
+        assert!(m.render().contains("deadline-exceeded 2"));
     }
 }

@@ -5,9 +5,15 @@
 //!
 //! ```text
 //! {"op":"alloc","id":3,"fn":"<lra_ir::textio text, JSON-escaped>"}
+//! {"op":"alloc","id":4,"fn":"...","deadline_ms":250}
 //! {"op":"stats","id":7}
 //! {"op":"shutdown","id":9}
 //! ```
+//!
+//! The optional `deadline_ms` is a relative wall-clock budget: the
+//! server anchors it at parse time and sheds the request
+//! (`"reason":"deadline_exceeded"`) if it is still queued when the
+//! budget runs out.
 //!
 //! Responses echo the request `id`:
 //!
@@ -16,6 +22,7 @@
 //!  "stores":3,"loads":5,"converged":true,"verified":true}
 //! {"id":3,"ok":false,"function":"gzip::f0","error":"..."}
 //! {"id":3,"rejected":true,"reason":"queue_full"}
+//! {"id":4,"rejected":true,"reason":"deadline_exceeded"}
 //! {"id":7,"ok":true,"served":27,...}
 //! ```
 //!
@@ -218,7 +225,11 @@ impl Parser<'_> {
                 }) {
                     self.pos += 1;
                 }
-                let tok = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+                // The consumed bytes are all ASCII digits/signs, but a
+                // wire parser never panics on principle: surface any
+                // impossibility as a parse error instead.
+                let tok = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "non-UTF-8 number token".to_string())?;
                 // Validate: every number token must at least parse as f64.
                 tok.parse::<f64>()
                     .map_err(|_| format!("bad number {tok:?}"))?;
@@ -242,10 +253,24 @@ impl Parser<'_> {
 /// Builds the `alloc` request line for one function (already rendered
 /// by [`lra_ir::textio::print`]).
 pub fn alloc_request(id: u64, function_text: &str) -> String {
-    format!(
-        "{{\"op\":\"alloc\",\"id\":{id},\"fn\":\"{}\"}}",
-        escape(function_text)
-    )
+    alloc_request_deadline(id, function_text, None)
+}
+
+/// [`alloc_request`] with an optional relative deadline: with
+/// `deadline_ms` set the request carries a wall-clock budget the
+/// server anchors at parse time; past it, a still-queued request is
+/// shed with [`RejectReason::DeadlineExceeded`] instead of served.
+pub fn alloc_request_deadline(id: u64, function_text: &str, deadline_ms: Option<u64>) -> String {
+    match deadline_ms {
+        Some(ms) => format!(
+            "{{\"op\":\"alloc\",\"id\":{id},\"fn\":\"{}\",\"deadline_ms\":{ms}}}",
+            escape(function_text)
+        ),
+        None => format!(
+            "{{\"op\":\"alloc\",\"id\":{id},\"fn\":\"{}\"}}",
+            escape(function_text)
+        ),
+    }
 }
 
 /// Builds a bare-op request line (`stats`, `shutdown`).
@@ -275,9 +300,44 @@ pub fn alloc_response(id: u64, row: &ReportRow) -> String {
     }
 }
 
-/// Builds the backpressure rejection line.
-pub fn rejected_response(id: u64) -> String {
-    format!("{{\"id\":{id},\"rejected\":true,\"reason\":\"queue_full\"}}")
+/// Why the server shed a request instead of serving it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded request queue was full — backpressure; the request
+    /// is safe to resubmit after a backoff.
+    QueueFull,
+    /// The request's `deadline_ms` budget ran out while it was still
+    /// queued — resubmitting is pointless unless the caller extends
+    /// the deadline.
+    DeadlineExceeded,
+}
+
+impl RejectReason {
+    /// The wire token carried in the `reason` field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::DeadlineExceeded => "deadline_exceeded",
+        }
+    }
+
+    fn from_wire(token: Option<&str>) -> Self {
+        // Absent/unknown reasons read as backpressure: that was the
+        // only rejection cause before reasons existed, so old servers
+        // stay interpretable.
+        match token {
+            Some("deadline_exceeded") => RejectReason::DeadlineExceeded,
+            _ => RejectReason::QueueFull,
+        }
+    }
+}
+
+/// Builds the load-shedding rejection line.
+pub fn rejected_response(id: u64, reason: RejectReason) -> String {
+    format!(
+        "{{\"id\":{id},\"rejected\":true,\"reason\":\"{}\"}}",
+        reason.as_str()
+    )
 }
 
 /// Builds a protocol-error response (unparsable request, bad function
@@ -300,10 +360,13 @@ pub enum Response {
         /// The report row.
         row: ReportRow,
     },
-    /// The request was rejected by backpressure; resubmit later.
+    /// The request was shed; whether resubmitting can help depends on
+    /// the reason.
     Rejected {
         /// Echoed request id.
         id: u64,
+        /// Why the server shed it.
+        reason: RejectReason,
     },
     /// A non-alloc reply (stats/shutdown acks) or a protocol error —
     /// the raw field map for the caller to pick over.
@@ -327,6 +390,7 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
     if fields.get("rejected").and_then(Json::as_bool) == Some(true) {
         return Ok(Response::Rejected {
             id: id.ok_or("rejected response without id")?,
+            reason: RejectReason::from_wire(fields.get("reason").and_then(Json::as_str)),
         });
     }
     let function = fields.get("function").and_then(Json::as_str);
@@ -448,8 +512,27 @@ mod tests {
 
     #[test]
     fn rejection_and_error_lines_parse() {
-        match parse_response(&rejected_response(11)).unwrap() {
-            Response::Rejected { id } => assert_eq!(id, 11),
+        match parse_response(&rejected_response(11, RejectReason::QueueFull)).unwrap() {
+            Response::Rejected { id, reason } => {
+                assert_eq!(id, 11);
+                assert_eq!(reason, RejectReason::QueueFull);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_response(&rejected_response(12, RejectReason::DeadlineExceeded)).unwrap() {
+            Response::Rejected { id, reason } => {
+                assert_eq!(id, 12);
+                assert_eq!(reason, RejectReason::DeadlineExceeded);
+            }
+            other => panic!("{other:?}"),
+        }
+        // A reason-less rejection (pre-reason servers) reads as
+        // backpressure.
+        match parse_response(r#"{"id":13,"rejected":true}"#).unwrap() {
+            Response::Rejected { id, reason } => {
+                assert_eq!(id, 13);
+                assert_eq!(reason, RejectReason::QueueFull);
+            }
             other => panic!("{other:?}"),
         }
         match parse_response(&error_response(Some(2), "bad fn")).unwrap() {
@@ -470,5 +553,20 @@ mod tests {
         assert!(map["fn"].as_str().unwrap().contains("bb0"));
         let map = parse_object(&op_request(1, "stats")).unwrap();
         assert_eq!(map["op"].as_str(), Some("stats"));
+    }
+
+    #[test]
+    fn deadline_requests_carry_the_budget() {
+        let req = alloc_request_deadline(
+            9,
+            "fn f values=0 entry=0 params=-\nbb0: succs=-\nend\n",
+            Some(250),
+        );
+        let map = parse_object(&req).unwrap();
+        assert_eq!(map["deadline_ms"].as_u64(), Some(250));
+        // Without a deadline the field is absent, keeping the wire
+        // format of deadline-free clients unchanged.
+        let bare = alloc_request(9, "fn f values=0 entry=0 params=-\nbb0: succs=-\nend\n");
+        assert!(!parse_object(&bare).unwrap().contains_key("deadline_ms"));
     }
 }

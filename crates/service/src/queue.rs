@@ -21,7 +21,7 @@
 //!   workers from starving.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Why a push was refused (the item is handed back in both cases).
 #[derive(Debug)]
@@ -54,6 +54,16 @@ pub struct BoundedQueue<T> {
 }
 
 impl<T> BoundedQueue<T> {
+    /// Locks the state, recovering from a poisoned mutex. No caller
+    /// code runs under this lock (every critical section is a handful
+    /// of `VecDeque`/counter operations that cannot unwind mid-update),
+    /// so a poison mark only records that some *other* code on the
+    /// thread panicked — the queue state itself is always consistent
+    /// and losing it would drop accepted requests for nothing.
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// An empty queue accepting at most `capacity` items at once.
     ///
     /// # Panics
@@ -86,7 +96,7 @@ impl<T> BoundedQueue<T> {
     /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
     /// [`BoundedQueue::close`].
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = self.lock();
         if state.closed {
             return Err(PushError::Closed(item));
         }
@@ -128,7 +138,7 @@ impl<T> BoundedQueue<T> {
     /// Panics if `max` is zero.
     pub fn pop_run(&self, max: usize) -> Vec<T> {
         assert!(max > 0, "a zero-length run would never make progress");
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = self.lock();
         loop {
             let queued = state.items.len();
             if queued > 0 {
@@ -148,7 +158,10 @@ impl<T> BoundedQueue<T> {
                 return Vec::new();
             }
             state.waiters += 1;
-            state = self.available.wait(state).expect("queue lock");
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
             state.waiters -= 1;
         }
     }
@@ -157,13 +170,13 @@ impl<T> BoundedQueue<T> {
     /// [`PushError::Closed`], and blocked consumers wake to drain the
     /// remaining items before seeing `None`.
     pub fn close(&self) {
-        self.state.lock().expect("queue lock").closed = true;
+        self.lock().closed = true;
         self.available.notify_all();
     }
 
     /// Items currently queued (not the ones being worked on).
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock").items.len()
+        self.lock().items.len()
     }
 
     /// `true` when nothing is queued.
@@ -173,7 +186,7 @@ impl<T> BoundedQueue<T> {
 
     /// Most items ever queued at once.
     pub fn high_water(&self) -> usize {
-        self.state.lock().expect("queue lock").high_water
+        self.lock().high_water
     }
 }
 

@@ -2,14 +2,15 @@
 //! thread per client, responses written from the worker callbacks.
 
 use crate::proto;
-use crate::service::{AllocationService, ServiceConfig, SubmitError};
+use crate::service::{AllocationService, ServeOutcome, ServiceConfig, SubmitError};
 use crate::ServiceMetrics;
 use lra_ir::textio;
 use std::io::{self, BufRead as _, BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// A running TCP allocation server. Dropping it (or calling
 /// [`Server::wait`] after a client sent `shutdown`) drains the
@@ -31,12 +32,13 @@ pub struct Server {
 pub fn serve(addr: &str, cfg: ServiceConfig) -> io::Result<Server> {
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
+    let read_timeout = cfg.read_timeout;
     let service = Arc::new(AllocationService::start(cfg));
     let stop = Arc::new(AtomicBool::new(false));
     let accept = {
         let service = Arc::clone(&service);
         let stop = Arc::clone(&stop);
-        std::thread::spawn(move || accept_loop(&listener, &service, &stop))
+        std::thread::spawn(move || accept_loop(&listener, &service, &stop, read_timeout))
     };
     Ok(Server {
         local_addr,
@@ -55,6 +57,13 @@ impl Server {
     /// A live metrics snapshot.
     pub fn metrics(&self) -> ServiceMetrics {
         self.service.metrics()
+    }
+
+    /// Counts of the faults injected so far, when the server was
+    /// started with a fault plan (`None` otherwise).
+    #[cfg(any(test, feature = "chaos"))]
+    pub fn fault_report(&self) -> Option<crate::fault::FaultReport> {
+        self.service.fault_report()
     }
 
     /// Asks the accept loop to stop, as the in-process equivalent of a
@@ -86,7 +95,12 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, service: &Arc<AllocationService>, stop: &Arc<AtomicBool>) {
+fn accept_loop(
+    listener: &TcpListener,
+    service: &Arc<AllocationService>,
+    stop: &Arc<AtomicBool>,
+    read_timeout: Duration,
+) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -97,7 +111,7 @@ fn accept_loop(listener: &TcpListener, service: &Arc<AllocationService>, stop: &
                 let stop = Arc::clone(stop);
                 let addr = listener.local_addr().ok();
                 std::thread::spawn(move || {
-                    let _ = handle_connection(stream, &service, &stop, addr);
+                    let _ = handle_connection(stream, &service, &stop, addr, read_timeout);
                 });
             }
             Err(_) => {
@@ -147,7 +161,7 @@ fn write_line(writer: &ConnWriter, line: &str) {
     if writer.dead.load(Ordering::Relaxed) {
         return;
     }
-    let mut w = writer.stream.lock().expect("connection writer");
+    let mut w = writer.stream.lock().unwrap_or_else(PoisonError::into_inner);
     let ok = w
         .write_all(line.as_bytes())
         .and_then(|()| w.write_all(b"\n"))
@@ -163,16 +177,33 @@ fn handle_connection(
     service: &Arc<AllocationService>,
     stop: &Arc<AtomicBool>,
     self_addr: Option<SocketAddr>,
+    read_timeout: Duration,
 ) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     stream.set_write_timeout(Some(WRITE_TIMEOUT)).ok();
+    stream.set_read_timeout(Some(read_timeout)).ok();
     let reader = BufReader::new(stream.try_clone()?);
     let writer = Arc::new(ConnWriter {
         stream: Mutex::new(stream),
         dead: AtomicBool::new(false),
     });
     for line in reader.lines() {
-        let line = line?;
+        let line = match line {
+            Ok(line) => line,
+            // A peer silent past the read timeout is treated as gone
+            // (the mirror of WRITE_TIMEOUT): the handler thread exits
+            // instead of being pinned forever. In-flight responses
+            // still flush — worker callbacks hold their own writer Arc.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                break;
+            }
+            Err(e) => return Err(e),
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -223,13 +254,38 @@ fn handle_connection(
                     );
                     continue;
                 }
+                // A request-carried relative deadline is anchored here,
+                // at parse time: queue wait counts against it.
+                let deadline = fields
+                    .get("deadline_ms")
+                    .and_then(proto::Json::as_u64)
+                    .map(|ms| Instant::now() + Duration::from_millis(ms));
                 let cb_writer = Arc::clone(&writer);
-                match service.submit_with(function, move |item| {
-                    write_line(&cb_writer, &proto::alloc_response(id, &item.row()));
+                #[cfg(any(test, feature = "chaos"))]
+                let cb_service = Arc::clone(service);
+                match service.submit_with_deadline(function, deadline, move |outcome| {
+                    let line = match outcome {
+                        ServeOutcome::Served(item) => proto::alloc_response(id, &item.row()),
+                        ServeOutcome::DeadlineExpired { .. } => {
+                            proto::rejected_response(id, proto::RejectReason::DeadlineExceeded)
+                        }
+                    };
+                    #[cfg(any(test, feature = "chaos"))]
+                    if cb_service
+                        .fault_injector()
+                        .is_some_and(|inj| inj.next_write_drops())
+                    {
+                        sever_mid_response(&cb_writer, &line);
+                        return;
+                    }
+                    write_line(&cb_writer, &line);
                 }) {
                     Ok(()) => {}
                     Err(SubmitError::QueueFull { .. }) => {
-                        write_line(&writer, &proto::rejected_response(id));
+                        write_line(
+                            &writer,
+                            &proto::rejected_response(id, proto::RejectReason::QueueFull),
+                        );
                     }
                     Err(SubmitError::ShuttingDown { .. }) => {
                         write_line(
@@ -267,12 +323,29 @@ fn handle_connection(
     Ok(())
 }
 
+/// The chaos drop fault: flush half the response line, then sever the
+/// connection — the torn frame is what a client's resilience layer
+/// must survive. The byte split cannot tear a UTF-8 char across the
+/// cut because raw bytes are written, and the latched `dead` flag
+/// keeps later callbacks off the corpse.
+#[cfg(any(test, feature = "chaos"))]
+fn sever_mid_response(writer: &ConnWriter, line: &str) {
+    let mut w = writer.stream.lock().unwrap_or_else(PoisonError::into_inner);
+    let cut = line.len() / 2;
+    let _ = w.write_all(&line.as_bytes()[..cut]);
+    let _ = w.flush();
+    let _ = w.shutdown(std::net::Shutdown::Both);
+    writer.dead.store(true, Ordering::Relaxed);
+}
+
 /// Serialises a metrics snapshot as the `stats` response line.
 fn stats_response(id: u64, m: &ServiceMetrics) -> String {
     format!(
-        "{{\"id\":{id},\"ok\":true,\"served\":{},\"rejected\":{},\"queue_high_water\":{},\"queue_capacity\":{},\"workers\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\"p50_us\":{},\"p95_us\":{}}}",
+        "{{\"id\":{id},\"ok\":true,\"served\":{},\"rejected\":{},\"degraded\":{},\"deadline_exceeded\":{},\"queue_high_water\":{},\"queue_capacity\":{},\"workers\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\"p50_us\":{},\"p95_us\":{}}}",
         m.served,
         m.rejected,
+        m.degraded,
+        m.deadline_exceeded,
         m.queue_high_water,
         m.queue_capacity,
         m.workers,

@@ -1,15 +1,18 @@
 //! The in-process allocation service: a persistent worker pool over a
-//! bounded request queue.
+//! bounded request queue, with deadline shedding and watermark-based
+//! graceful degradation.
 
+#[cfg(any(test, feature = "chaos"))]
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::metrics::{MetricsInner, ServiceMetrics};
 use crate::queue::{BoundedQueue, PushError};
 use lra_core::batch::{self, BatchItem, WorkerScratch};
 use lra_core::driver::AllocationPipeline;
 use lra_core::portfolio::portfolio_cache;
 use lra_ir::Function;
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration for [`AllocationService::start`].
 #[derive(Clone, Debug)]
@@ -24,6 +27,24 @@ pub struct ServiceConfig {
     /// Request-queue capacity: submissions beyond it are rejected
     /// with [`SubmitError::QueueFull`] (explicit backpressure).
     pub queue_capacity: usize,
+    /// Queue-depth watermark for graceful degradation: when a worker
+    /// picks up a job while **more** than this many requests are still
+    /// queued behind it, the job runs through the degraded
+    /// (cheap-tier-only, no-escalation) variant of the pipeline
+    /// ([`AllocationPipeline::degraded`]) and the `degraded` counter
+    /// ticks. `None` (the default) disables degradation — every
+    /// request then takes the full pipeline, keeping the byte-identity
+    /// contract with the batch path.
+    pub degrade_watermark: Option<usize>,
+    /// Read timeout the TCP front end sets on accepted connections: a
+    /// client silent for this long is treated as gone and its
+    /// connection closed, so an idle peer cannot pin a handler thread.
+    pub read_timeout: Duration,
+    /// Deterministic fault schedule for chaos testing (compiled in
+    /// only under `cfg(any(test, feature = "chaos"))`). `None` — the
+    /// default — injects nothing.
+    #[cfg(any(test, feature = "chaos"))]
+    pub faults: Option<FaultPlan>,
 }
 
 /// Default queue capacity: deep enough that normal bursts never see a
@@ -31,14 +52,22 @@ pub struct ServiceConfig {
 /// backpressure (not as unbounded memory growth).
 pub const DEFAULT_QUEUE_CAPACITY: usize = 256;
 
+/// Default read timeout on accepted TCP connections (mirrors the write
+/// timeout): generous against slow clients, finite against dead ones.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
 impl ServiceConfig {
     /// A config running `pipeline` with the default worker count and
-    /// queue capacity.
+    /// queue capacity, no degradation watermark and no faults.
     pub fn new(pipeline: AllocationPipeline) -> Self {
         ServiceConfig {
             pipeline,
             workers: 0,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            degrade_watermark: None,
+            read_timeout: DEFAULT_READ_TIMEOUT,
+            #[cfg(any(test, feature = "chaos"))]
+            faults: None,
         }
     }
 
@@ -56,6 +85,27 @@ impl ServiceConfig {
     pub fn queue_capacity(mut self, n: usize) -> Self {
         assert!(n > 0, "a zero-capacity queue rejects everything");
         self.queue_capacity = n;
+        self
+    }
+
+    /// Sets (or clears) the graceful-degradation watermark — see
+    /// [`ServiceConfig::degrade_watermark`].
+    pub fn degrade_watermark(mut self, depth: Option<usize>) -> Self {
+        self.degrade_watermark = depth;
+        self
+    }
+
+    /// Sets the TCP read timeout — see
+    /// [`ServiceConfig::read_timeout`].
+    pub fn read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Installs a deterministic fault schedule for chaos testing.
+    #[cfg(any(test, feature = "chaos"))]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 }
@@ -91,32 +141,76 @@ impl std::fmt::Display for SubmitError {
     }
 }
 
-/// How a completed [`BatchItem`] gets back to the submitter.
+/// What the service did with one **accepted** request: served it (the
+/// common case), or shed it at dequeue because its deadline had
+/// already run out. Rejected submissions never get this far — they
+/// surface as [`SubmitError`] at submit time.
+#[derive(Debug)]
+// One outcome exists per completed request and moves a handful of
+// times; boxing the item to shrink the enum would buy nothing but an
+// extra allocation on the hot path.
+#[allow(clippy::large_enum_variant)]
+pub enum ServeOutcome {
+    /// The request ran through the pipeline; the item is byte-
+    /// compatible with a [`lra_core::batch::BatchAllocator`] run
+    /// (unless the request carried a deadline or was degraded — both
+    /// opt out of byte-identity by design).
+    Served(BatchItem),
+    /// The request's deadline expired while it was still queued; no
+    /// worker time was spent on it.
+    DeadlineExpired {
+        /// Name of the function the request carried.
+        function: String,
+    },
+}
+
+impl ServeOutcome {
+    /// The served item, or `None` for a deadline-shed request.
+    pub fn item(self) -> Option<BatchItem> {
+        match self {
+            ServeOutcome::Served(item) => Some(item),
+            ServeOutcome::DeadlineExpired { .. } => None,
+        }
+    }
+}
+
+/// How a completed request's [`ServeOutcome`] gets back to the
+/// submitter.
 enum Responder {
     /// An in-process ticket wait.
-    Channel(mpsc::Sender<BatchItem>),
+    Channel(mpsc::Sender<ServeOutcome>),
     /// An arbitrary completion callback (the TCP front end writes the
     /// response line from it, on the worker thread).
-    Callback(Box<dyn FnOnce(BatchItem) + Send>),
+    Callback(Box<dyn FnOnce(ServeOutcome) + Send>),
 }
 
 struct Job {
     function: Function,
     responder: Responder,
     enqueued: Instant,
+    /// Absolute point past which the request is shed instead of
+    /// served (`None` = no deadline).
+    deadline: Option<Instant>,
 }
 
 struct Shared {
     queue: BoundedQueue<Job>,
     pipeline: AllocationPipeline,
+    /// Prebuilt [`AllocationPipeline::degraded`] variant, so the
+    /// per-job degradation decision costs a pointer pick, not a
+    /// pipeline clone.
+    degraded_pipeline: AllocationPipeline,
+    degrade_watermark: Option<usize>,
     metrics: MetricsInner,
     workers: usize,
+    #[cfg(any(test, feature = "chaos"))]
+    faults: Option<FaultInjector>,
 }
 
 /// A pending request's receipt: [`Ticket::wait`] blocks until the
 /// worker pool finishes this request.
 pub struct Ticket {
-    rx: mpsc::Receiver<BatchItem>,
+    rx: mpsc::Receiver<ServeOutcome>,
 }
 
 impl Ticket {
@@ -126,10 +220,32 @@ impl Ticket {
     ///
     /// # Panics
     ///
-    /// Panics if the worker processing this request panicked so hard
-    /// the response was never sent (the pipeline itself is
-    /// panic-caught, so this indicates a bug in the service).
+    /// Panics if the request was shed because its deadline expired —
+    /// deadline-carrying submissions must use
+    /// [`Ticket::wait_outcome`] — or if the worker processing this
+    /// request panicked so hard the response was never sent (the
+    /// pipeline itself is panic-caught, so that indicates a bug in the
+    /// service).
     pub fn wait(self) -> BatchItem {
+        match self.wait_outcome() {
+            ServeOutcome::Served(item) => item,
+            ServeOutcome::DeadlineExpired { function } => panic!(
+                "request {function:?} was shed at its deadline; \
+                 deadline-carrying submissions must wait via wait_outcome()"
+            ),
+        }
+    }
+
+    /// Blocks until the request completes and returns the full
+    /// [`ServeOutcome`] — the wait for deadline-carrying submissions,
+    /// where shedding is an expected answer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service dropped the request without responding
+    /// (a service bug; the drain contract promises every accepted
+    /// request an answer).
+    pub fn wait_outcome(self) -> ServeOutcome {
         self.rx.recv().expect("service dropped an accepted request")
     }
 }
@@ -142,12 +258,16 @@ impl Ticket {
 ///
 /// * **Backpressure, not blocking**: [`AllocationService::submit`]
 ///   returns [`SubmitError::QueueFull`] instead of stalling.
-/// * **Lossless shutdown**: every accepted request is served before
-///   [`AllocationService::shutdown`] returns.
-/// * **Batch-identical output**: each item is produced by
-///   [`lra_core::batch::allocate_item`] — the same per-item engine as
-///   [`lra_core::batch::BatchAllocator`] — so reports are
-///   byte-identical to a batch run at any worker count.
+/// * **Lossless shutdown**: every accepted request is answered before
+///   [`AllocationService::shutdown`] returns (deadline-shed requests
+///   are answered with [`ServeOutcome::DeadlineExpired`]).
+/// * **Batch-identical output**: each deadline-free item is produced
+///   by [`lra_core::batch::allocate_item`] — the same per-item engine
+///   as [`lra_core::batch::BatchAllocator`] — so reports are
+///   byte-identical to a batch run at any worker count, **as long as
+///   the degradation watermark never trips** (degraded and
+///   deadline-budgeted runs trade that identity for survival, and say
+///   so in the metrics).
 ///
 /// # Example
 ///
@@ -183,9 +303,13 @@ impl AllocationService {
         };
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(cfg.queue_capacity),
+            degraded_pipeline: cfg.pipeline.degraded(),
             pipeline: cfg.pipeline,
+            degrade_watermark: cfg.degrade_watermark,
             metrics: MetricsInner::new(portfolio_cache().stats()),
             workers,
+            #[cfg(any(test, feature = "chaos"))]
+            faults: cfg.faults.map(FaultInjector::new),
         });
         let handles = (0..workers)
             .map(|_| {
@@ -207,8 +331,27 @@ impl AllocationService {
     /// [`SubmitError::ShuttingDown`] after shutdown began. The
     /// function is returned inside the error either way.
     pub fn submit(&self, function: Function) -> Result<Ticket, SubmitError> {
+        self.submit_deadline(function, None)
+    }
+
+    /// [`AllocationService::submit`] with an optional absolute
+    /// deadline: if the request is still queued at `deadline`, the
+    /// worker sheds it ([`ServeOutcome::DeadlineExpired`]) instead of
+    /// running the pipeline, and a request that starts before the
+    /// deadline runs under the remaining wall-clock budget
+    /// ([`AllocationPipeline::time_budget`]). Wait on the ticket with
+    /// [`Ticket::wait_outcome`].
+    ///
+    /// # Errors
+    ///
+    /// Same rejections as [`AllocationService::submit`].
+    pub fn submit_deadline(
+        &self,
+        function: Function,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, SubmitError> {
         let (tx, rx) = mpsc::channel();
-        self.enqueue(function, Responder::Channel(tx))?;
+        self.enqueue(function, Responder::Channel(tx), deadline)?;
         Ok(Ticket { rx })
     }
 
@@ -223,16 +366,38 @@ impl AllocationService {
     pub fn submit_with(
         &self,
         function: Function,
-        on_done: impl FnOnce(BatchItem) + Send + 'static,
+        on_done: impl FnOnce(ServeOutcome) + Send + 'static,
     ) -> Result<(), SubmitError> {
-        self.enqueue(function, Responder::Callback(Box::new(on_done)))
+        self.submit_with_deadline(function, None, on_done)
     }
 
-    fn enqueue(&self, function: Function, responder: Responder) -> Result<(), SubmitError> {
+    /// [`AllocationService::submit_with`] with an optional absolute
+    /// deadline (the callback analogue of
+    /// [`AllocationService::submit_deadline`]).
+    ///
+    /// # Errors
+    ///
+    /// Same rejections as [`AllocationService::submit`].
+    pub fn submit_with_deadline(
+        &self,
+        function: Function,
+        deadline: Option<Instant>,
+        on_done: impl FnOnce(ServeOutcome) + Send + 'static,
+    ) -> Result<(), SubmitError> {
+        self.enqueue(function, Responder::Callback(Box::new(on_done)), deadline)
+    }
+
+    fn enqueue(
+        &self,
+        function: Function,
+        responder: Responder,
+        deadline: Option<Instant>,
+    ) -> Result<(), SubmitError> {
         let job = Job {
             function,
             responder,
             enqueued: Instant::now(),
+            deadline,
         };
         self.shared.queue.try_push(job).map_err(|e| {
             self.shared.metrics.record_rejected();
@@ -295,12 +460,28 @@ impl AllocationService {
         self.shared.queue.len()
     }
 
+    /// Counts of the faults the configured [`FaultPlan`] actually
+    /// injected so far (`None` when no plan is installed). A chaos
+    /// harness asserts these are nonzero — a fault plan that never
+    /// fires tests nothing.
+    #[cfg(any(test, feature = "chaos"))]
+    pub fn fault_report(&self) -> Option<crate::fault::FaultReport> {
+        self.shared.faults.as_ref().map(FaultInjector::report)
+    }
+
+    /// The live injector, for the TCP front end's write-path faults.
+    #[cfg(any(test, feature = "chaos"))]
+    pub(crate) fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.shared.faults.as_ref()
+    }
+
     /// Graceful shutdown: stops accepting work, serves everything
     /// already accepted, joins the workers, and returns the final
     /// metrics. Idempotent — later calls just return a fresh snapshot.
     pub fn shutdown(&self) -> ServiceMetrics {
         self.shared.queue.close();
-        let handles = std::mem::take(&mut *self.handles.lock().expect("service handles"));
+        let handles =
+            std::mem::take(&mut *self.handles.lock().unwrap_or_else(PoisonError::into_inner));
         for h in handles {
             let _ = h.join();
         }
@@ -320,6 +501,48 @@ impl Drop for AllocationService {
 /// queue costs one lock round-trip per few jobs instead of per job.
 const WORKER_CLAIM: usize = 4;
 
+/// Delivers one outcome to its submitter, absorbing callback panics
+/// (user code must not kill a worker — the queue behind it still holds
+/// accepted requests the drain contract promises to serve; the panic
+/// message still reaches stderr via the process panic hook). A
+/// submitter that dropped its ticket no longer wants the answer, so a
+/// dead channel is ignored too.
+fn respond(responder: Responder, outcome: ServeOutcome) {
+    match responder {
+        Responder::Channel(tx) => {
+            let _ = tx.send(outcome);
+        }
+        Responder::Callback(cb) => {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || cb(outcome)));
+        }
+    }
+}
+
+/// A chaos-injected worker panic, caught exactly the way a pipeline
+/// panic is, so the recovery path under test is the production one:
+/// the job completes as an error item, the worker lives on.
+#[cfg(any(test, feature = "chaos"))]
+fn chaos_panic_item(function: &Function) -> BatchItem {
+    use lra_core::driver::{AllocatedFunction, PipelineError};
+    let t0 = Instant::now();
+    let outcome = std::panic::catch_unwind(|| -> Result<AllocatedFunction, PipelineError> {
+        panic!("chaos: injected worker panic")
+    })
+    .unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "chaos: injected worker panic".to_string());
+        Err(PipelineError::Panic(msg))
+    });
+    BatchItem {
+        function: function.name.clone(),
+        outcome,
+        elapsed: t0.elapsed(),
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     // One scratch per worker for its whole lifetime: analysis buffers
     // are recycled across every function this worker serves, with
@@ -331,25 +554,148 @@ fn worker_loop(shared: &Shared) {
             return; // closed and drained
         }
         for job in run {
-            let item = batch::allocate_item_with(&shared.pipeline, &job.function, &mut scratch);
+            #[cfg(any(test, feature = "chaos"))]
+            let fault = shared
+                .faults
+                .as_ref()
+                .map(FaultInjector::next_job)
+                .unwrap_or_default();
+            #[cfg(any(test, feature = "chaos"))]
+            if let Some(extra) = fault.latency {
+                std::thread::sleep(extra);
+            }
+
+            // Deadline shedding at dequeue: an already-expired request
+            // is answered without burning a worker on a result nobody
+            // is waiting for. `saturating_duration_since` makes a
+            // deadline at-or-before now deterministically zero.
+            let remaining = job
+                .deadline
+                .map(|d| d.saturating_duration_since(Instant::now()));
+            if remaining.is_some_and(|left| left.is_zero()) {
+                shared.metrics.record_deadline_exceeded();
+                respond(
+                    job.responder,
+                    ServeOutcome::DeadlineExpired {
+                        function: job.function.name,
+                    },
+                );
+                continue;
+            }
+
+            // Watermark degradation: the depth of the queue *behind*
+            // this job decides how much effort it gets — above the
+            // watermark the cheap-tier-only pipeline keeps the pool
+            // draining fast instead of escalating into exact solves.
+            let degraded = shared
+                .degrade_watermark
+                .is_some_and(|w| shared.queue.len() > w);
+            let pipeline = if degraded {
+                &shared.degraded_pipeline
+            } else {
+                &shared.pipeline
+            };
+
+            #[cfg(any(test, feature = "chaos"))]
+            let item = if fault.panic {
+                chaos_panic_item(&job.function)
+            } else {
+                batch::allocate_item_deadline(pipeline, &job.function, &mut scratch, remaining)
+            };
+            #[cfg(not(any(test, feature = "chaos")))]
+            let item =
+                batch::allocate_item_deadline(pipeline, &job.function, &mut scratch, remaining);
+
+            if degraded {
+                shared.metrics.record_degraded();
+            }
             shared.metrics.record_served(job.enqueued.elapsed());
-            match job.responder {
-                Responder::Channel(tx) => {
-                    // A submitter that dropped its ticket no longer
-                    // wants the answer; the work still counted as
-                    // served.
-                    let _ = tx.send(item);
-                }
-                Responder::Callback(cb) => {
-                    // A panicking callback (user code) must not kill
-                    // the worker: the queue behind it still holds
-                    // accepted requests the drain contract promises to
-                    // serve. The panic message still reaches stderr
-                    // via the process panic hook.
-                    let _ =
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || cb(item)));
-                }
+            respond(job.responder, ServeOutcome::Served(item));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use lra_core::batch::BatchAllocator;
+    use lra_ir::genprog::{random_ssa_function, SsaConfig};
+    use lra_targets::{Target, TargetKind};
+    use rand::SeedableRng as _;
+    use rand_chacha::ChaCha8Rng;
+
+    fn corpus(n: u64) -> Vec<Function> {
+        (0..n)
+            .map(|seed| {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let cfg = SsaConfig {
+                    target_instrs: 50,
+                    liveness_window: 8,
+                    ..SsaConfig::default()
+                };
+                random_ssa_function(&mut rng, &cfg, format!("chaos::f{seed}"))
+            })
+            .collect()
+    }
+
+    fn pipeline() -> AllocationPipeline {
+        AllocationPipeline::new(Target::new(TargetKind::St231)).registers(3)
+    }
+
+    #[test]
+    fn injected_faults_surface_as_error_rows_never_lost_requests() {
+        let fs = corpus(12);
+        let plan = FaultPlan::new()
+            .seed(7)
+            .panic_every(3)
+            .latency_every(4, Duration::from_millis(1));
+        let service = AllocationService::start(
+            ServiceConfig::new(pipeline())
+                .workers(2)
+                .queue_capacity(16)
+                .faults(plan),
+        );
+        let tickets: Vec<_> = fs
+            .iter()
+            .map(|f| service.submit(f.clone()).expect("queue has room"))
+            .collect();
+        let items: Vec<_> = tickets.into_iter().map(Ticket::wait).collect();
+        let report = service.fault_report().expect("a fault plan is installed");
+        let metrics = service.shutdown();
+        assert_eq!(metrics.served, fs.len() as u64, "faults lose no requests");
+        // 12 jobs: one panic per cycle of 3, one latency per cycle of 4.
+        assert_eq!(report.panics, 4, "the enabled panic fault must fire");
+        assert_eq!(report.latencies, 3, "the enabled latency fault must fire");
+        let chaos_rows = items
+            .iter()
+            .filter(|item| {
+                matches!(item.row().outcome.as_ref(),
+                         Err(e) if e.contains("chaos: injected"))
+            })
+            .count() as u64;
+        assert_eq!(
+            chaos_rows, report.panics,
+            "every injected panic is one error row, and nothing else is"
+        );
+        // Un-faulted requests are byte-identical to the batch path —
+        // injection perturbs scheduling, never results.
+        let reference = BatchAllocator::new(pipeline()).threads(1).run(&fs);
+        for (item, reference) in items.iter().zip(reference.rows()) {
+            if item.outcome.is_ok() {
+                assert_eq!(format!("{:?}", item.row()), format!("{reference:?}"));
             }
         }
+    }
+
+    #[test]
+    fn a_fault_free_service_reports_no_faults() {
+        let fs = corpus(2);
+        let service = AllocationService::start(ServiceConfig::new(pipeline()).workers(1));
+        assert!(service.fault_report().is_none(), "no plan, no injector");
+        for f in &fs {
+            assert!(service.submit(f.clone()).unwrap().wait().outcome.is_ok());
+        }
+        service.shutdown();
     }
 }

@@ -8,12 +8,13 @@ use lra_core::pipeline::InstanceKind;
 use lra_core::portfolio::PortfolioConfig;
 use lra_ir::genprog::{random_jit_function, random_ssa_function, JitConfig, SsaConfig};
 use lra_ir::Function;
-use lra_service::{serve, AllocationService, Client, ServiceConfig, SubmitError};
+use lra_service::{serve, AllocationService, Client, ServeOutcome, ServiceConfig, SubmitError};
 use lra_targets::{Target, TargetKind};
 use rand::SeedableRng as _;
 use rand_chacha::ChaCha8Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn ssa_corpus(n: u64) -> Vec<Function> {
     (0..n)
@@ -333,5 +334,244 @@ fn bad_requests_get_error_responses_without_killing_the_connection() {
     assert!(
         resp.contains("\"ok\":true"),
         "healthy request still served: {resp}"
+    );
+}
+
+#[test]
+fn a_silent_client_cannot_pin_a_handler_thread() {
+    // A connection that never sends a frame must be closed once the
+    // read timeout lapses — otherwise one idle socket pins a handler
+    // thread forever.
+    let server = serve(
+        "127.0.0.1:0",
+        ServiceConfig::new(pipeline())
+            .workers(1)
+            .read_timeout(Duration::from_millis(100)),
+    )
+    .unwrap();
+    let silent = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    silent
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let start = Instant::now();
+    let mut reader = std::io::BufReader::new(silent);
+    let mut line = String::new();
+    let n = std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+    assert_eq!(n, 0, "the server must hang up on us, got {line:?}");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "hang-up must come from the read timeout, not test patience"
+    );
+    // The freed handler capacity still serves real clients.
+    let mut client = Client::connect(&server.local_addr().to_string()).unwrap();
+    let result = client.allocate_all(&ssa_corpus(1)).unwrap();
+    assert!(result.rows[0].outcome.is_ok());
+}
+
+#[test]
+fn malformed_frames_get_error_responses_without_killing_the_connection() {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    let server = serve(
+        "127.0.0.1:0",
+        ServiceConfig::new(pipeline()).workers(1).queue_capacity(4),
+    )
+    .unwrap();
+    let stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut send = |line: &str| {
+        let mut w = &stream;
+        w.write_all(line.as_bytes()).unwrap();
+        w.write_all(b"\n").unwrap();
+        w.flush().unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        resp
+    };
+    // Fuzz-ish corpus: every frame is valid UTF-8 (a non-UTF-8 byte
+    // stream errors the buffered reader and closes the connection
+    // before the parser sees it) but broken at the JSON layer in a
+    // different way. Each must come back as an in-band error.
+    let bad = [
+        "{",                                                    // truncated object
+        "\"just a string\"",                                    // non-object root
+        "{\"op\":\"alloc\",\"id\":5,\"fn\":\"x\\u00\"}",        // truncated \u escape
+        "{\"op\":\"alloc\",\"id\":6,\"fn\":\"\\q\"}",           // unknown escape
+        "{\"op\":\"alloc\",\"id\":7,\"fn\":{}}",                // fn is not a string
+        "{\"op\":[\"alloc\"],\"id\":8}",                        // op is not a string
+        "{\"op\":\"alloc\",\"id\":-3}",                         // negative id
+        "{\"op\":\"alloc\",\"id\":99999999999999999999999999}", // id overflows u64
+        "{\"op\":\"alloc\",\"id\":9,\"fn\":\"fn\"} trailing",   // trailing garbage
+    ];
+    for frame in bad {
+        let resp = send(frame);
+        assert!(
+            resp.contains("\"ok\":false"),
+            "{frame:?} must get an error response, got {resp:?}"
+        );
+    }
+    // A non-numeric deadline is ignored, not fatal: the request runs.
+    let text = lra_ir::textio::print(&ssa_corpus(1)[0]);
+    let with_bad_deadline =
+        lra_service::proto::alloc_request(41, &text).replacen("{", "{\"deadline_ms\":\"soon\",", 1);
+    assert!(send(&with_bad_deadline).contains("\"ok\":true"));
+    // And the connection survived all of the above.
+    assert!(send(&lra_service::proto::alloc_request(42, &text)).contains("\"ok\":true"));
+}
+
+#[test]
+fn shutdown_under_load_answers_every_accepted_request_exactly_once() {
+    // Concurrent submitters race a mid-stream shutdown: whatever was
+    // accepted before the queue closed must be answered exactly once,
+    // at every worker count.
+    for workers in [1, 2, 4] {
+        let fs = Arc::new(ssa_corpus(12));
+        let service = Arc::new(AllocationService::start(
+            ServiceConfig::new(pipeline())
+                .workers(workers)
+                .queue_capacity(4),
+        ));
+        let answered = Arc::new(AtomicU64::new(0));
+        let submitters: Vec<_> = (0..3)
+            .map(|t| {
+                let service = Arc::clone(&service);
+                let fs = Arc::clone(&fs);
+                let answered = Arc::clone(&answered);
+                std::thread::spawn(move || {
+                    let mut accepted = 0u64;
+                    for f in fs.iter().cycle().skip(t).take(40) {
+                        let answered = Arc::clone(&answered);
+                        match service.submit_with(f.clone(), move |_| {
+                            answered.fetch_add(1, Ordering::SeqCst);
+                        }) {
+                            Ok(()) => accepted += 1,
+                            Err(SubmitError::QueueFull { .. }) => {
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                            Err(SubmitError::ShuttingDown { .. }) => break,
+                        }
+                    }
+                    accepted
+                })
+            })
+            .collect();
+        // Let the submitters get some work in flight, then pull the rug.
+        std::thread::sleep(Duration::from_millis(20));
+        let metrics = service.shutdown();
+        let accepted: u64 = submitters
+            .into_iter()
+            .map(|h| h.join().expect("submitter thread"))
+            .sum();
+        assert!(accepted > 0, "the race must actually accept something");
+        assert_eq!(
+            answered.load(Ordering::SeqCst),
+            accepted,
+            "{workers} workers: accepted and answered must match exactly"
+        );
+        assert_eq!(metrics.served, accepted);
+    }
+}
+
+#[test]
+fn expired_deadlines_are_shed_at_dequeue_not_run() {
+    let fs = ssa_corpus(3);
+    let service =
+        AllocationService::start(ServiceConfig::new(pipeline()).workers(1).queue_capacity(8));
+    // Pin the only worker so the doomed request waits in the queue
+    // past its (already expired) deadline.
+    let (entered_tx, entered_rx) = mpsc::channel();
+    let (release_tx, release_rx) = mpsc::channel();
+    service
+        .submit_with(fs[0].clone(), move |_| {
+            entered_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        })
+        .expect("accepted");
+    entered_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+    let doomed = service
+        .submit_deadline(fs[1].clone(), Some(Instant::now()))
+        .expect("accepted");
+    let healthy = service.submit(fs[2].clone()).expect("accepted");
+    release_tx.send(()).unwrap();
+    match doomed.wait_outcome() {
+        ServeOutcome::DeadlineExpired { function } => assert_eq!(function, fs[1].name),
+        ServeOutcome::Served(_) => panic!("an expired deadline must not reach the pipeline"),
+    }
+    assert!(
+        healthy.wait().outcome.is_ok(),
+        "requests behind the shed one are unaffected"
+    );
+    let metrics = service.shutdown();
+    assert_eq!(metrics.deadline_exceeded, 1);
+    assert_eq!(metrics.served, 2, "a shed request does not count as served");
+}
+
+#[test]
+fn tcp_deadlines_come_back_as_deadline_exceeded_rows() {
+    // deadline_ms:0 anchors the deadline at parse time, so by the time
+    // a worker dequeues the job it has always expired — deterministic.
+    let fs = ssa_corpus(4);
+    let server = serve(
+        "127.0.0.1:0",
+        ServiceConfig::new(pipeline()).workers(1).queue_capacity(8),
+    )
+    .unwrap();
+    let mut client = Client::connect(&server.local_addr().to_string())
+        .unwrap()
+        .deadline_ms(Some(0));
+    let result = client.allocate_all(&fs).unwrap();
+    for (row, f) in result.rows.iter().zip(&fs) {
+        assert_eq!(row.function, f.name);
+        assert_eq!(
+            row.outcome.as_ref().err().map(String::as_str),
+            Some("deadline_exceeded")
+        );
+    }
+    client.shutdown().unwrap();
+    let metrics = server.wait();
+    assert_eq!(metrics.deadline_exceeded, fs.len() as u64);
+    assert_eq!(metrics.served, 0);
+}
+
+#[test]
+fn overload_degrades_to_the_cheap_tier_and_stays_available() {
+    // With the watermark at 1 and the only worker pinned, a burst
+    // leaves the queue deep enough that dequeued jobs run degraded —
+    // but every one of them is still answered successfully.
+    let fs = jit_corpus(6);
+    let service = AllocationService::start(
+        ServiceConfig::new(portfolio_pipeline())
+            .workers(1)
+            .queue_capacity(16)
+            .degrade_watermark(Some(1)),
+    );
+    let (entered_tx, entered_rx) = mpsc::channel();
+    let (release_tx, release_rx) = mpsc::channel();
+    service
+        .submit_with(fs[0].clone(), move |_| {
+            entered_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        })
+        .expect("accepted");
+    entered_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+    let tickets: Vec<_> = fs[1..]
+        .iter()
+        .map(|f| service.submit(f.clone()).expect("burst fits the queue"))
+        .collect();
+    release_tx.send(()).unwrap();
+    for t in tickets {
+        assert!(
+            t.wait().outcome.is_ok(),
+            "degraded service still answers correctly"
+        );
+    }
+    let metrics = service.shutdown();
+    assert_eq!(metrics.served, fs.len() as u64);
+    assert!(
+        metrics.degraded > 0,
+        "a deep queue above the watermark must trip degradation"
+    );
+    assert!(
+        metrics.degraded < metrics.served,
+        "the tail of the burst drains below the watermark at full tier"
     );
 }
