@@ -24,5 +24,6 @@
 pub mod batchrun;
 pub mod chaos;
 pub mod experiments;
+pub mod profile;
 pub mod stats;
 pub mod suites;

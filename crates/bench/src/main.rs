@@ -9,6 +9,7 @@
 //! cargo run --release -p lra-bench -- batch --policy portfolio
 //! cargo run --release -p lra-bench -- portfolio --budget-nodes 100000
 //! cargo run --release -p lra-bench -- record           # BENCH_batch.json
+//! cargo run --release -p lra-bench -- profile          # BENCH_phases.json
 //! cargo run --release -p lra-bench -- chaos --seed 7   # fault-injected soak
 //! ```
 //!
@@ -28,7 +29,7 @@ use std::io::Write as _;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lra-bench <fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablation|inclusion|bls-sweep|split|ssa|stats|pipeline|batch|portfolio|serve|loadgen|chaos|record|all> [--seed N] [--threads N] [--out PATH] [--policy NAME] [--budget-nodes N] [--budget-ms N] [--addr HOST:PORT] [--queue N] [--repeat N] [--local] [--shutdown] [--panic-every N] [--latency-every N] [--latency-ms N] [--drop-every N]"
+        "usage: lra-bench <fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablation|inclusion|bls-sweep|split|ssa|stats|pipeline|batch|portfolio|serve|loadgen|chaos|record|profile|all> [--seed N] [--threads N] [--out PATH] [--chrome PATH] [--policy NAME] [--budget-nodes N] [--budget-ms N] [--addr HOST:PORT] [--queue N] [--repeat N] [--local] [--shutdown] [--panic-every N] [--latency-every N] [--latency-ms N] [--drop-every N]"
     );
     std::process::exit(2)
 }
@@ -78,11 +79,15 @@ fn run_loadgen(addr: &str, seed: u64, repeat: usize, local: bool, send_shutdown:
                 eprintln!("loadgen: cannot connect to {addr}: {e}");
                 std::process::exit(1);
             });
+    let mut total_retries = 0u64;
+    let mut total_deadline_rejections = 0u64;
     for pass in 0..repeat.max(1) {
         let result = client.allocate_all(&functions).unwrap_or_else(|e| {
             eprintln!("loadgen: pass {pass} failed: {e}");
             std::process::exit(1);
         });
+        total_retries += result.retries;
+        total_deadline_rejections += result.deadline_rejections;
         print!("{}", result.render());
         println!();
         eprintln!(
@@ -93,9 +98,35 @@ fn run_loadgen(addr: &str, seed: u64, repeat: usize, local: bool, send_shutdown:
             result.retries
         );
     }
-    if let Ok(stats) = client.stats() {
-        let fields: Vec<String> = stats.iter().map(|(k, v)| format!("{k}={v:?}")).collect();
-        eprintln!("(server stats: {})", fields.join(" "));
+    // End-of-run overload summary: the client-side counters plus the
+    // server's own shed/degrade totals. Stderr only — stdout carries
+    // exclusively the deterministic reports CI diffs.
+    let server_stat = |stats: &std::collections::BTreeMap<String, lra_service::proto::Json>,
+                       key: &str| {
+        stats
+            .get(key)
+            .and_then(lra_service::proto::Json::as_u64)
+            .unwrap_or(0)
+    };
+    match client.stats() {
+        Ok(stats) => {
+            let fields: Vec<String> = stats.iter().map(|(k, v)| format!("{k}={v:?}")).collect();
+            eprintln!("(server stats: {})", fields.join(" "));
+            eprintln!(
+                "(loadgen summary: {total_retries} backpressure retries, \
+                 {total_deadline_rejections} deadline rejections; server degraded {} \
+                 / deadline_exceeded {} / rejected {})",
+                server_stat(&stats, "degraded"),
+                server_stat(&stats, "deadline_exceeded"),
+                server_stat(&stats, "rejected"),
+            );
+        }
+        Err(e) => {
+            eprintln!(
+                "(loadgen summary: {total_retries} backpressure retries, \
+                 {total_deadline_rejections} deadline rejections; server stats unavailable: {e})"
+            );
+        }
     }
     if send_shutdown {
         if let Err(e) = client.shutdown() {
@@ -241,6 +272,45 @@ fn run_record(seed: u64, out: &str) {
     println!("baselines written to {out}");
 }
 
+/// `profile`: run the standard corpora single-worker with phase
+/// tracing armed and persist the merged per-phase self-times as
+/// `BENCH_phases.json` (schema `lra-bench/phases-v1`). `--chrome PATH`
+/// additionally re-runs the heaviest jit-large function in span-event
+/// detail and writes a chrome://tracing document to `PATH`.
+fn run_profile(seed: u64, out: &str, chrome: Option<&str>) {
+    let profiles = lra_bench::profile::run(seed);
+    for p in &profiles {
+        eprintln!(
+            "{}: {} functions, wall {:.1} ms, attributed {:.1} ms ({:.1}% of allocation time)",
+            p.name,
+            p.functions,
+            p.wall.as_secs_f64() * 1e3,
+            std::time::Duration::from_nanos(p.trace.total_self_ns()).as_secs_f64() * 1e3,
+            p.coverage() * 100.0
+        );
+        for phase in lra_core::trace::Phase::ALL {
+            let st = p.trace.phases[phase as usize];
+            if st.count > 0 {
+                eprintln!(
+                    "  {:>14}: {:>8} spans, self {:>9.3} ms, total {:>9.3} ms",
+                    phase.name(),
+                    st.count,
+                    st.self_ns as f64 / 1e6,
+                    st.total_ns as f64 / 1e6
+                );
+            }
+        }
+    }
+    let json = lra_bench::profile::to_json(seed, &profiles);
+    std::fs::write(out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("phase profile written to {out}");
+    if let Some(path) = chrome {
+        let trace = lra_bench::profile::chrome_trace(seed);
+        std::fs::write(path, &trace).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("chrome trace written to {path}");
+    }
+}
+
 /// `pipeline`: run every registered allocator end to end (allocate →
 /// spill-code rewrite → reanalyse → assign → verify) on one sample
 /// function and print the report columns.
@@ -309,7 +379,8 @@ fn main() {
     }
     let mut seed = 2013u64; // CGO 2013
     let mut threads = 0usize; // 0 = auto (available_parallelism)
-    let mut out = "BENCH_batch.json".to_string();
+    let mut out: Option<String> = None;
+    let mut chrome: Option<String> = None;
     let mut policy: Option<String> = None;
     let mut budget_nodes: Option<u64> = None;
     let mut budget_ms: Option<u64> = None;
@@ -339,7 +410,10 @@ fn main() {
                     .unwrap_or_else(|| usage());
             }
             "--out" => {
-                out = it.next().cloned().unwrap_or_else(|| usage());
+                out = Some(it.next().cloned().unwrap_or_else(|| usage()));
+            }
+            "--chrome" => {
+                chrome = Some(it.next().cloned().unwrap_or_else(|| usage()));
             }
             "--policy" => {
                 policy = Some(it.next().cloned().unwrap_or_else(|| usage()));
@@ -443,6 +517,7 @@ fn main() {
             "loadgen" => which.push("loadgen"),
             "chaos" => which.push("chaos"),
             "record" => which.push("record"),
+            "profile" => which.push("profile"),
             _ => usage(),
         }
     }
@@ -627,7 +702,12 @@ fn main() {
                     .latency_every(latency_every, std::time::Duration::from_millis(latency_ms))
                     .drop_every(drop_every),
             ),
-            "record" => run_record(seed, &out),
+            "record" => run_record(seed, out.as_deref().unwrap_or("BENCH_batch.json")),
+            "profile" => run_profile(
+                seed,
+                out.as_deref().unwrap_or("BENCH_phases.json"),
+                chrome.as_deref(),
+            ),
             "stats" => {
                 for (title, suite) in [
                     ("SPEC CPU2000int workload shape", "spec"),

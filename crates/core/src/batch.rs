@@ -287,15 +287,26 @@ pub fn allocate_item_with(
     f: &Function,
     scratch: &mut WorkerScratch,
 ) -> BatchItem {
+    // With tracing armed (LRA_TRACE, a service trace request, or the
+    // profiler), bracket the run with a per-item collection. The trace
+    // rides along as a side channel on the item — rows and rendering
+    // never read it, so output bytes are identical either way.
+    let traced = crate::trace::enabled();
+    if traced {
+        crate::trace::begin(false);
+    }
     let t0 = Instant::now();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         pipeline.run_with(f, &mut scratch.analysis)
     }))
     .unwrap_or_else(|payload| Err(PipelineError::Panic(panic_message(&payload))));
+    let elapsed = t0.elapsed();
+    let trace = if traced { crate::trace::take() } else { None };
     BatchItem {
         function: f.name.clone(),
         outcome,
-        elapsed: t0.elapsed(),
+        elapsed,
+        trace,
     }
 }
 
@@ -344,6 +355,11 @@ pub struct BatchItem {
     /// Wall-clock time this item spent in the pipeline (excluded from
     /// [`BatchReport::render`] to keep batch output deterministic).
     pub elapsed: Duration,
+    /// Per-phase trace collected while this item ran, when tracing was
+    /// armed ([`crate::trace`]); `None` otherwise. Like `elapsed`, a
+    /// side channel: [`BatchItem::row`] and every renderer ignore it,
+    /// so traced and untraced runs stay byte-identical.
+    pub trace: Option<crate::trace::TraceReport>,
 }
 
 impl BatchItem {
@@ -867,6 +883,7 @@ mod tests {
                     function: f.name.clone(),
                     outcome: Ok(r),
                     elapsed: Duration::ZERO,
+                    trace: None,
                 }
             })
             .collect();

@@ -171,8 +171,10 @@ impl Hash for InstanceKey {
 }
 
 /// Shards a [`ResultCache`] spreads its slots over. Independent locks,
-/// so up to this many workers insert/look up without contending.
-const CACHE_SHARDS: usize = 16;
+/// so up to this many workers insert/look up without contending. Public
+/// so the tracing layer ([`crate::trace`]) can size its per-shard
+/// hit/miss attribution arrays to match.
+pub const CACHE_SHARDS: usize = 16;
 
 /// A bounded, thread-safe, sharded memo table from [`InstanceKey`]s to
 /// clonable results. See the [module docs](self).
@@ -291,11 +293,13 @@ impl<V: Clone> ResultCache<V> {
         (shard, slot)
     }
 
-    /// Looks `key` up, counting a hit or miss on the key's shard.
+    /// Looks `key` up, counting a hit or miss on the key's shard (and,
+    /// when tracing is armed, attributing the lookup to that shard in
+    /// the calling thread's trace).
     pub fn get(&self, key: &InstanceKey) -> Option<V> {
         let (si, slot) = self.place(key);
         let mut shard = self.shards[si].lock().expect("cache shard lock");
-        match &shard.slots[slot] {
+        let found = match &shard.slots[slot] {
             Some((k, v)) if k == key => {
                 let v = v.clone();
                 shard.stats.hits += 1;
@@ -305,7 +309,10 @@ impl<V: Clone> ResultCache<V> {
                 shard.stats.misses += 1;
                 None
             }
-        }
+        };
+        drop(shard);
+        crate::trace::cache_access(si, found.is_some());
+        found
     }
 
     /// Memoizes `value` under `key`. The key's slot is overwritten

@@ -339,6 +339,11 @@ impl AllocationPipeline {
         f: &Function,
         scratch: &mut AnalysisScratch,
     ) -> Result<AllocatedFunction, PipelineError> {
+        // The root trace span: everything below (rounds, escalation,
+        // final assembly) is its children; its self time is the
+        // pipeline's own orchestration cost. One relaxed atomic load
+        // when tracing is off — see [`crate::trace`].
+        let _pipeline_span = crate::trace::span(crate::trace::Phase::Pipeline);
         let spec = AllocatorRegistry::spec(&self.allocator)
             .ok_or_else(|| PipelineError::UnknownAllocator(self.allocator.clone()))?;
         if spec.needs_intervals && self.kind != InstanceKind::LinearIntervals {
@@ -434,7 +439,10 @@ impl AllocationPipeline {
         // construction, spill costs, the coalescing affinities and the
         // stall check below all borrow it — no second liveness run per
         // round anywhere.
-        let mut func_analysis = FunctionAnalysis::compute_in(f, scratch);
+        let mut func_analysis = {
+            let _s = crate::trace::span(crate::trace::Phase::Analysis);
+            FunctionAnalysis::compute_in(f, scratch)
+        };
         let max_live_before = func_analysis.liveness.max_live;
 
         let mut func = f.clone();
@@ -450,23 +458,29 @@ impl AllocationPipeline {
 
         let (assignment, verdict) = loop {
             rounds += 1;
-            let costs = match &remat {
-                Some(table) => spill_cost::spill_costs_with_remat(
-                    &func,
-                    &func_analysis.liveness,
-                    &func_analysis.loops,
-                    &self.target,
-                    table,
-                ),
-                None => spill_cost::spill_costs(
-                    &func,
-                    &func_analysis.liveness,
-                    &func_analysis.loops,
-                    &self.target,
-                ),
+            let _round_span = crate::trace::span(crate::trace::Phase::Round);
+            let costs = {
+                let _s = crate::trace::span(crate::trace::Phase::SpillCosts);
+                match &remat {
+                    Some(table) => spill_cost::spill_costs_with_remat(
+                        &func,
+                        &func_analysis.liveness,
+                        &func_analysis.loops,
+                        &self.target,
+                        table,
+                    ),
+                    None => spill_cost::spill_costs(
+                        &func,
+                        &func_analysis.liveness,
+                        &func_analysis.loops,
+                        &self.target,
+                    ),
+                }
             };
-            let inst =
-                build_instance_from_costs_in(&func, &func_analysis, self.kind, scratch, costs);
+            let inst = {
+                let _s = crate::trace::span(crate::trace::Phase::InstanceBuild);
+                build_instance_from_costs_in(&func, &func_analysis, self.kind, scratch, costs)
+            };
             if spec.needs_chordal && !inst.is_chordal() {
                 return Err(PipelineError::NeedsChordal(spec.name));
             }
@@ -482,6 +496,7 @@ impl AllocationPipeline {
 
             if round.spilled.is_empty() {
                 round_costs.push(round.cost);
+                crate::trace::add_round(round.cost);
                 converged = true;
                 break (round.assignment, round.verdict);
             }
@@ -501,7 +516,7 @@ impl AllocationPipeline {
             // just gained a slot are upgraded first so this round's
             // evictions of them are priced (and rewritten) as slot
             // re-loads.
-            round_costs.push(match remat.as_mut() {
+            let charged = match remat.as_mut() {
                 Some(table) => {
                     table.upgrade_slot_copies(&func, &spill_set);
                     let ins = spill_cost::spill_insert_costs(
@@ -518,35 +533,43 @@ impl AllocationPipeline {
                         .sum()
                 }
                 None => round.cost,
-            });
+            };
+            round_costs.push(charged);
+            crate::trace::add_round(charged);
 
             // Rewrite the function so the spilled values live in memory
             // (or, for remat-classed values, are re-issued at each use).
             // All three rewrites draw their block-edit buffers from the
             // shared scratch, so per-round rewriting allocates from
             // recycled storage.
-            let rewrite = match remat.as_mut() {
-                Some(table) => lra_ir::remat::rewrite_spill_code_remat_in(
-                    &func,
-                    &spill_set,
-                    table,
-                    self.optimized_spill,
-                    scratch,
-                ),
-                None if self.optimized_spill => {
-                    spill_code::rewrite_spill_code_optimized_in(&func, &spill_set, scratch)
+            let rewrite = {
+                let _s = crate::trace::span(crate::trace::Phase::Rewrite);
+                match remat.as_mut() {
+                    Some(table) => lra_ir::remat::rewrite_spill_code_remat_in(
+                        &func,
+                        &spill_set,
+                        table,
+                        self.optimized_spill,
+                        scratch,
+                    ),
+                    None if self.optimized_spill => {
+                        spill_code::rewrite_spill_code_optimized_in(&func, &spill_set, scratch)
+                    }
+                    None => spill_code::rewrite_spill_code_in(&func, &spill_set, scratch),
                 }
-                None => spill_code::rewrite_spill_code_in(&func, &spill_set, scratch),
             };
             stores += rewrite.stats.stores;
             loads += rewrite.stats.loads;
             remats += rewrite.stats.remats;
             spilled_values.extend(round.spilled.iter().copied());
             func = rewrite.function;
-            func_analysis = if force_full {
-                FunctionAnalysis::compute_in(&func, scratch)
-            } else {
-                func_analysis.after_spill_in(&func, &rewrite.delta, scratch)
+            func_analysis = {
+                let _s = crate::trace::span(crate::trace::Phase::Reanalyse);
+                if force_full {
+                    FunctionAnalysis::compute_in(&func, scratch)
+                } else {
+                    func_analysis.after_spill_in(&func, &rewrite.delta, scratch)
+                }
             };
 
             // Stop when out of budget, or when spilling stopped lowering
@@ -619,9 +642,15 @@ impl AllocationPipeline {
         force_full: bool,
         base: &LoopOutcome,
     ) -> Option<(LoopOutcome, usize)> {
-        let live = liveness::analyze_in(f, scratch);
-        let split = split::split_pressure_ranges_in(f, &live, r as usize, scratch)?;
-        let table = RematTable::compute(f).map_split(&split.origin);
+        let prep = {
+            let _s = crate::trace::span(crate::trace::Phase::EscalatePrep);
+            let live = liveness::analyze_in(f, scratch);
+            split::split_pressure_ranges_in(f, &live, r as usize, scratch).map(|split| {
+                let table = RematTable::compute(f).map_split(&split.origin);
+                (split, table)
+            })
+        };
+        let (split, table) = prep?;
         let mut esc = self
             .run_loop(
                 &split.function,
@@ -680,8 +709,14 @@ impl AllocationPipeline {
 
         match quotient {
             None => {
-                let alloc = allocator.allocate(inst, r);
-                let verdict = verify::check(inst, &alloc, r);
+                let alloc = {
+                    let _s = crate::trace::span(crate::trace::Phase::Allocate);
+                    allocator.allocate(inst, r)
+                };
+                let verdict = {
+                    let _s = crate::trace::span(crate::trace::Phase::Verify);
+                    verify::check(inst, &alloc, r)
+                };
                 let assignment =
                     assignment_from(&verdict, n, |v| alloc.allocated.contains(v).then_some(v));
                 RoundOutcome {
@@ -693,8 +728,14 @@ impl AllocationPipeline {
                 }
             }
             Some(co) => {
-                let alloc = allocator.allocate(&co.instance, r);
-                let verdict = verify::check(&co.instance, &alloc, r);
+                let alloc = {
+                    let _s = crate::trace::span(crate::trace::Phase::Allocate);
+                    allocator.allocate(&co.instance, r)
+                };
+                let verdict = {
+                    let _s = crate::trace::span(crate::trace::Phase::Verify);
+                    verify::check(&co.instance, &alloc, r)
+                };
                 let assignment = assignment_from(&verdict, n, |v| {
                     let class = co.class_of[v];
                     alloc.allocated.contains(class).then_some(class)

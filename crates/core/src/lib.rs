@@ -64,6 +64,7 @@ pub mod pipeline;
 pub mod portfolio;
 pub mod problem;
 pub mod registry;
+pub mod trace;
 pub mod verify;
 
 pub use batch::{

@@ -327,6 +327,11 @@ impl Portfolio {
                 source: PortfolioSource::Cheap,
             };
         }
+        // The fuel *granted* to the exact tier, recorded at the
+        // escalation decision: the solvers do not uniformly report
+        // consumed nodes, and the grant is what the budget policy
+        // actually controls.
+        crate::trace::add_fuel(fuel);
         let budget = SolveBudget::nodes(fuel).with_time(self.cfg.time_budget);
         match self.exact.try_allocate(instance, r, &budget) {
             Some(exact) if exact.spill_cost < cheap_cost => PortfolioOutcome {

@@ -108,6 +108,9 @@ pub struct LoadResult {
     pub rows: Vec<ReportRow>,
     /// `queue_full` rejections that were retried.
     pub retries: u64,
+    /// Requests the server shed as `deadline_exceeded`; each appears
+    /// in [`LoadResult::rows`] as an error row.
+    pub deadline_rejections: u64,
     /// Wall-clock time from first send to last response.
     pub elapsed: Duration,
 }
@@ -224,6 +227,7 @@ impl Client {
         let mut outstanding = 0usize;
         let mut done = 0usize;
         let mut retries = 0u64;
+        let mut deadline_rejections = 0u64;
         let start = Instant::now();
         // A response id outside this run's range is a server bug; it
         // must surface as a protocol error, never as an index panic.
@@ -292,6 +296,7 @@ impl Client {
                                 function: functions[k].name.clone(),
                                 outcome: Err("deadline_exceeded".to_string()),
                             });
+                            deadline_rejections += 1;
                             done += 1;
                         }
                     }
@@ -311,8 +316,38 @@ impl Client {
                 .map(|r| r.expect("all rows filled"))
                 .collect(),
             retries,
+            deadline_rejections,
             elapsed: start.elapsed(),
         })
+    }
+
+    /// Fetches the server's Prometheus text exposition: the raw
+    /// multi-line payload of the `metrics` op, read until its `# EOF`
+    /// terminator (included in the returned string).
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a connection closed before the
+    /// terminator arrives.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send_line(&proto::op_request(id, "metrics"))?;
+        let mut out = String::new();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection before `# EOF`",
+                ));
+            }
+            let done = line.trim_end() == "# EOF";
+            out.push_str(&line);
+            if done {
+                return Ok(out);
+            }
+        }
     }
 
     /// Fetches the server's metrics as the raw response field map

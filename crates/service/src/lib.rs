@@ -46,6 +46,7 @@
 pub mod client;
 #[cfg(any(test, feature = "chaos"))]
 pub mod fault;
+pub mod histogram;
 pub mod metrics;
 pub mod proto;
 pub mod queue;
@@ -53,7 +54,8 @@ pub mod server;
 mod service;
 
 pub use client::{Client, LoadResult, RetryPolicy};
-pub use metrics::ServiceMetrics;
+pub use histogram::{HistogramSnapshot, LatencyHistogram};
+pub use metrics::{PhaseAgg, ServiceMetrics};
 pub use server::{serve, Server};
 pub use service::{
     AllocationService, ServeOutcome, ServiceConfig, SubmitError, Ticket, DEFAULT_QUEUE_CAPACITY,

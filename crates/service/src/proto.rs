@@ -6,25 +6,39 @@
 //! ```text
 //! {"op":"alloc","id":3,"fn":"<lra_ir::textio text, JSON-escaped>"}
 //! {"op":"alloc","id":4,"fn":"...","deadline_ms":250}
+//! {"op":"alloc","id":5,"fn":"...","trace_id":"req-5","trace":true}
 //! {"op":"stats","id":7}
+//! {"op":"metrics","id":8}
 //! {"op":"shutdown","id":9}
 //! ```
 //!
 //! The optional `deadline_ms` is a relative wall-clock budget: the
 //! server anchors it at parse time and sheds the request
 //! (`"reason":"deadline_exceeded"`) if it is still queued when the
-//! budget runs out.
+//! budget runs out. An optional `trace_id` string is echoed verbatim
+//! in the request's response (alloc rows and rejections alike) so
+//! callers can correlate pipelined traffic; `trace:true` additionally
+//! asks the server to run the request with
+//! [`lra_core::trace`] armed and return flat per-phase timing fields.
 //!
 //! Responses echo the request `id`:
 //!
 //! ```text
 //! {"id":3,"ok":true,"function":"gzip::f0","spill_cost":12,"rounds":2,
 //!  "stores":3,"loads":5,"converged":true,"verified":true}
+//! {"id":5,"ok":true,...,"trace_id":"req-5","trace_total_us":812,
+//!  "phase_allocate_us":301,...,"trace_rounds":2,"trace_fuel":100000,
+//!  "trace_cache_hits":0,"trace_cache_misses":1}
 //! {"id":3,"ok":false,"function":"gzip::f0","error":"..."}
 //! {"id":3,"rejected":true,"reason":"queue_full"}
 //! {"id":4,"rejected":true,"reason":"deadline_exceeded"}
 //! {"id":7,"ok":true,"served":27,...}
 //! ```
+//!
+//! The `metrics` op answers with a multi-line Prometheus text
+//! exposition ([`crate::ServiceMetrics::render_prometheus`]) instead
+//! of a JSON line, terminated by a `# EOF` line — the one deliberate
+//! departure from one-object-per-line framing.
 //!
 //! The JSON subset implemented here is exactly what the protocol
 //! uses: one flat object per line with string / integer / float /
@@ -261,19 +275,39 @@ pub fn alloc_request(id: u64, function_text: &str) -> String {
 /// server anchors at parse time; past it, a still-queued request is
 /// shed with [`RejectReason::DeadlineExceeded`] instead of served.
 pub fn alloc_request_deadline(id: u64, function_text: &str, deadline_ms: Option<u64>) -> String {
-    match deadline_ms {
-        Some(ms) => format!(
-            "{{\"op\":\"alloc\",\"id\":{id},\"fn\":\"{}\",\"deadline_ms\":{ms}}}",
-            escape(function_text)
-        ),
-        None => format!(
-            "{{\"op\":\"alloc\",\"id\":{id},\"fn\":\"{}\"}}",
-            escape(function_text)
-        ),
-    }
+    alloc_request_full(id, function_text, deadline_ms, None, false)
 }
 
-/// Builds a bare-op request line (`stats`, `shutdown`).
+/// The fully-general `alloc` request builder: optional relative
+/// deadline, optional correlation `trace_id` (echoed in the
+/// response), optional `trace:true` (the response then carries flat
+/// per-phase timing fields). [`alloc_request`] and
+/// [`alloc_request_deadline`] are the common-case shorthands.
+pub fn alloc_request_full(
+    id: u64,
+    function_text: &str,
+    deadline_ms: Option<u64>,
+    trace_id: Option<&str>,
+    trace: bool,
+) -> String {
+    let mut line = format!(
+        "{{\"op\":\"alloc\",\"id\":{id},\"fn\":\"{}\"",
+        escape(function_text)
+    );
+    if let Some(ms) = deadline_ms {
+        let _ = write!(line, ",\"deadline_ms\":{ms}");
+    }
+    if let Some(tid) = trace_id {
+        let _ = write!(line, ",\"trace_id\":\"{}\"", escape(tid));
+    }
+    if trace {
+        line.push_str(",\"trace\":true");
+    }
+    line.push('}');
+    line
+}
+
+/// Builds a bare-op request line (`stats`, `metrics`, `shutdown`).
 pub fn op_request(id: u64, op: &str) -> String {
     format!("{{\"op\":\"{}\",\"id\":{id}}}", escape(op))
 }
@@ -298,6 +332,56 @@ pub fn alloc_response(id: u64, row: &ReportRow) -> String {
             escape(e)
         ),
     }
+}
+
+/// [`alloc_response`] with the optional trace extensions: the
+/// request's `trace_id` echoed verbatim, and — for a successful row
+/// whose request asked `trace:true` — the per-phase timing report as
+/// **flat** scalar fields (the protocol's parser rejects nested
+/// containers by design): `trace_total_us`, one `phase_<name>_us`
+/// self-time per [`lra_core::trace::Phase`], `trace_rounds`,
+/// `trace_spill_delta`, `trace_fuel`, `trace_cache_hits` and
+/// `trace_cache_misses`. Without either extension this is byte-for-
+/// byte [`alloc_response`].
+pub fn alloc_response_traced(
+    id: u64,
+    row: &ReportRow,
+    trace_id: Option<&str>,
+    trace: Option<&lra_core::trace::TraceReport>,
+) -> String {
+    let mut line = alloc_response(id, row);
+    let mut extra = String::new();
+    if let Some(tid) = trace_id {
+        let _ = write!(extra, ",\"trace_id\":\"{}\"", escape(tid));
+    }
+    if let (Some(t), Ok(_)) = (trace, &row.outcome) {
+        let _ = write!(extra, ",\"trace_total_us\":{}", t.total_self_ns() / 1_000);
+        for phase in lra_core::trace::Phase::ALL {
+            let _ = write!(
+                extra,
+                ",\"phase_{}_us\":{}",
+                phase.name(),
+                t.phase_self_us(phase)
+            );
+        }
+        let _ = write!(
+            extra,
+            ",\"trace_rounds\":{},\"trace_spill_delta\":{},\"trace_fuel\":{},\
+             \"trace_cache_hits\":{},\"trace_cache_misses\":{}",
+            t.rounds,
+            t.spill_delta,
+            t.fuel,
+            t.cache_hits(),
+            t.cache_misses()
+        );
+    }
+    if !extra.is_empty() {
+        debug_assert!(line.ends_with('}'));
+        line.pop();
+        line.push_str(&extra);
+        line.push('}');
+    }
+    line
 }
 
 /// Why the server shed a request instead of serving it.
@@ -334,10 +418,22 @@ impl RejectReason {
 
 /// Builds the load-shedding rejection line.
 pub fn rejected_response(id: u64, reason: RejectReason) -> String {
-    format!(
-        "{{\"id\":{id},\"rejected\":true,\"reason\":\"{}\"}}",
+    rejected_response_traced(id, reason, None)
+}
+
+/// [`rejected_response`] with the request's `trace_id` echoed, so a
+/// pipelined caller can correlate sheds too (a shed request has no
+/// timing to report — the pipeline never ran).
+pub fn rejected_response_traced(id: u64, reason: RejectReason, trace_id: Option<&str>) -> String {
+    let mut line = format!(
+        "{{\"id\":{id},\"rejected\":true,\"reason\":\"{}\"",
         reason.as_str()
-    )
+    );
+    if let Some(tid) = trace_id {
+        let _ = write!(line, ",\"trace_id\":\"{}\"", escape(tid));
+    }
+    line.push('}');
+    line
 }
 
 /// Builds a protocol-error response (unparsable request, bad function
@@ -553,6 +649,83 @@ mod tests {
         assert!(map["fn"].as_str().unwrap().contains("bb0"));
         let map = parse_object(&op_request(1, "stats")).unwrap();
         assert_eq!(map["op"].as_str(), Some("stats"));
+    }
+
+    #[test]
+    fn traced_requests_and_responses_stay_flat_and_parse() {
+        let req = alloc_request_full(
+            5,
+            "fn f values=0 entry=0 params=-\nbb0: succs=-\nend\n",
+            Some(100),
+            Some("req-5"),
+            true,
+        );
+        let map = parse_object(&req).unwrap();
+        assert_eq!(map["trace_id"].as_str(), Some("req-5"));
+        assert_eq!(map["trace"].as_bool(), Some(true));
+        assert_eq!(map["deadline_ms"].as_u64(), Some(100));
+
+        let row = ReportRow {
+            function: "jit::m0".to_string(),
+            outcome: Ok(RowStats {
+                spill_cost: 42,
+                rounds: 3,
+                stores: 7,
+                loads: 9,
+                converged: true,
+                verified: true,
+                escalated: false,
+            }),
+        };
+        // Without extensions, byte-identical to the plain builder.
+        assert_eq!(
+            alloc_response_traced(5, &row, None, None),
+            alloc_response(5, &row)
+        );
+        let mut t = lra_core::trace::TraceReport::default();
+        t.phases[lra_core::trace::Phase::Allocate as usize].self_ns = 301_000;
+        t.phases[lra_core::trace::Phase::Allocate as usize].count = 3;
+        t.rounds = 3;
+        t.fuel = 100_000;
+        t.shard_hits[2] = 1;
+        let line = alloc_response_traced(5, &row, Some("req-5"), Some(&t));
+        // The extended line is still one flat object the protocol
+        // parser accepts, and the standard row survives intact.
+        let fields = parse_object(&line).unwrap();
+        assert_eq!(fields["trace_id"].as_str(), Some("req-5"));
+        assert_eq!(fields["phase_allocate_us"].as_u64(), Some(301));
+        assert_eq!(fields["trace_total_us"].as_u64(), Some(301));
+        assert_eq!(fields["trace_rounds"].as_u64(), Some(3));
+        assert_eq!(fields["trace_fuel"].as_u64(), Some(100_000));
+        assert_eq!(fields["trace_cache_hits"].as_u64(), Some(1));
+        assert_eq!(fields["trace_cache_misses"].as_u64(), Some(0));
+        match parse_response(&line).unwrap() {
+            Response::Row { id, row: parsed } => {
+                assert_eq!(id, 5);
+                assert_eq!(parsed, row);
+            }
+            other => panic!("expected row, got {other:?}"),
+        }
+        // An error row echoes the trace_id but carries no timing (the
+        // pipeline failed; there is nothing to attribute).
+        let err = ReportRow {
+            function: "jit::m1".to_string(),
+            outcome: Err("boom".to_string()),
+        };
+        let line = alloc_response_traced(6, &err, Some("req-6"), Some(&t));
+        let fields = parse_object(&line).unwrap();
+        assert_eq!(fields["trace_id"].as_str(), Some("req-6"));
+        assert!(!fields.contains_key("trace_total_us"));
+
+        let rej = rejected_response_traced(7, RejectReason::QueueFull, Some("req-7"));
+        let fields = parse_object(&rej).unwrap();
+        assert_eq!(fields["trace_id"].as_str(), Some("req-7"));
+        match parse_response(&rej).unwrap() {
+            Response::Rejected { id, reason } => {
+                assert_eq!((id, reason), (7, RejectReason::QueueFull));
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

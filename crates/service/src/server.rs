@@ -260,15 +260,35 @@ fn handle_connection(
                     .get("deadline_ms")
                     .and_then(proto::Json::as_u64)
                     .map(|ms| Instant::now() + Duration::from_millis(ms));
+                // Optional trace extensions: a correlation id echoed
+                // in every response to this request, and a per-request
+                // tracing flag (the worker arms lra_core::trace around
+                // the run; the response gains flat phase timings).
+                let trace_id = fields
+                    .get("trace_id")
+                    .and_then(proto::Json::as_str)
+                    .map(str::to_string);
+                let trace = fields.get("trace").and_then(proto::Json::as_bool) == Some(true);
+                let reject_trace_id = trace_id.clone();
                 let cb_writer = Arc::clone(&writer);
                 #[cfg(any(test, feature = "chaos"))]
                 let cb_service = Arc::clone(service);
-                match service.submit_with_deadline(function, deadline, move |outcome| {
+                let on_done = move |outcome| {
                     let line = match outcome {
-                        ServeOutcome::Served(item) => proto::alloc_response(id, &item.row()),
-                        ServeOutcome::DeadlineExpired { .. } => {
-                            proto::rejected_response(id, proto::RejectReason::DeadlineExceeded)
-                        }
+                        ServeOutcome::Served(item) => proto::alloc_response_traced(
+                            id,
+                            &item.row(),
+                            trace_id.as_deref(),
+                            // Timings only when this request asked for
+                            // them — a globally traced server (LRA_TRACE)
+                            // keeps its wire format unchanged.
+                            if trace { item.trace.as_ref() } else { None },
+                        ),
+                        ServeOutcome::DeadlineExpired { .. } => proto::rejected_response_traced(
+                            id,
+                            proto::RejectReason::DeadlineExceeded,
+                            trace_id.as_deref(),
+                        ),
                     };
                     #[cfg(any(test, feature = "chaos"))]
                     if cb_service
@@ -279,12 +299,22 @@ fn handle_connection(
                         return;
                     }
                     write_line(&cb_writer, &line);
-                }) {
+                };
+                let submitted = if trace {
+                    service.submit_traced_with(function, deadline, on_done)
+                } else {
+                    service.submit_with_deadline(function, deadline, on_done)
+                };
+                match submitted {
                     Ok(()) => {}
                     Err(SubmitError::QueueFull { .. }) => {
                         write_line(
                             &writer,
-                            &proto::rejected_response(id, proto::RejectReason::QueueFull),
+                            &proto::rejected_response_traced(
+                                id,
+                                proto::RejectReason::QueueFull,
+                                reject_trace_id.as_deref(),
+                            ),
                         );
                     }
                     Err(SubmitError::ShuttingDown { .. }) => {
@@ -297,6 +327,14 @@ fn handle_connection(
             }
             ("stats", Some(id)) => {
                 write_line(&writer, &stats_response(id, &service.metrics()));
+            }
+            ("metrics", Some(_id)) => {
+                // Prometheus text exposition: a deliberately non-JSON,
+                // multi-line payload ending in `# EOF`. One write_line
+                // call keeps it contiguous under the connection's
+                // write lock even while worker callbacks are writing
+                // response lines.
+                write_line(&writer, &service.metrics().render_prometheus());
             }
             ("shutdown", Some(id)) => {
                 write_line(

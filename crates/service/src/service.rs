@@ -191,6 +191,11 @@ struct Job {
     /// Absolute point past which the request is shed instead of
     /// served (`None` = no deadline).
     deadline: Option<Instant>,
+    /// Whether the worker arms [`lra_core::trace`] around this job so
+    /// its [`BatchItem::trace`] comes back populated (the `trace:true`
+    /// proto request). Tracing never changes output bytes, only
+    /// attaches the side-channel report.
+    trace: bool,
 }
 
 struct Shared {
@@ -306,15 +311,15 @@ impl AllocationService {
             degraded_pipeline: cfg.pipeline.degraded(),
             pipeline: cfg.pipeline,
             degrade_watermark: cfg.degrade_watermark,
-            metrics: MetricsInner::new(portfolio_cache().stats()),
+            metrics: MetricsInner::new(portfolio_cache().stats(), workers),
             workers,
             #[cfg(any(test, feature = "chaos"))]
             faults: cfg.faults.map(FaultInjector::new),
         });
         let handles = (0..workers)
-            .map(|_| {
+            .map(|index| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                std::thread::spawn(move || worker_loop(&shared, index))
             })
             .collect();
         AllocationService {
@@ -351,7 +356,26 @@ impl AllocationService {
         deadline: Option<Instant>,
     ) -> Result<Ticket, SubmitError> {
         let (tx, rx) = mpsc::channel();
-        self.enqueue(function, Responder::Channel(tx), deadline)?;
+        self.enqueue(function, Responder::Channel(tx), deadline, false)?;
+        Ok(Ticket { rx })
+    }
+
+    /// [`AllocationService::submit_deadline`] with per-request tracing:
+    /// the worker arms [`lra_core::trace`] around the run, so the
+    /// returned item carries a populated
+    /// [`lra_core::batch::BatchItem::trace`]. Output bytes are
+    /// identical to an untraced submission.
+    ///
+    /// # Errors
+    ///
+    /// Same rejections as [`AllocationService::submit`].
+    pub fn submit_traced(
+        &self,
+        function: Function,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, SubmitError> {
+        let (tx, rx) = mpsc::channel();
+        self.enqueue(function, Responder::Channel(tx), deadline, true)?;
         Ok(Ticket { rx })
     }
 
@@ -384,7 +408,34 @@ impl AllocationService {
         deadline: Option<Instant>,
         on_done: impl FnOnce(ServeOutcome) + Send + 'static,
     ) -> Result<(), SubmitError> {
-        self.enqueue(function, Responder::Callback(Box::new(on_done)), deadline)
+        self.enqueue(
+            function,
+            Responder::Callback(Box::new(on_done)),
+            deadline,
+            false,
+        )
+    }
+
+    /// [`AllocationService::submit_with_deadline`] with per-request
+    /// tracing (the callback analogue of
+    /// [`AllocationService::submit_traced`]) — the TCP front end's
+    /// entry point for `trace:true` requests.
+    ///
+    /// # Errors
+    ///
+    /// Same rejections as [`AllocationService::submit`].
+    pub fn submit_traced_with(
+        &self,
+        function: Function,
+        deadline: Option<Instant>,
+        on_done: impl FnOnce(ServeOutcome) + Send + 'static,
+    ) -> Result<(), SubmitError> {
+        self.enqueue(
+            function,
+            Responder::Callback(Box::new(on_done)),
+            deadline,
+            true,
+        )
     }
 
     fn enqueue(
@@ -392,12 +443,14 @@ impl AllocationService {
         function: Function,
         responder: Responder,
         deadline: Option<Instant>,
+        trace: bool,
     ) -> Result<(), SubmitError> {
         let job = Job {
             function,
             responder,
             enqueued: Instant::now(),
             deadline,
+            trace,
         };
         self.shared.queue.try_push(job).map_err(|e| {
             self.shared.metrics.record_rejected();
@@ -540,10 +593,11 @@ fn chaos_panic_item(function: &Function) -> BatchItem {
         function: function.name.clone(),
         outcome,
         elapsed: t0.elapsed(),
+        trace: None,
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, worker_index: usize) {
     // One scratch per worker for its whole lifetime: analysis buffers
     // are recycled across every function this worker serves, with
     // output bits untouched (see [`lra_core::batch::WorkerScratch`]).
@@ -596,6 +650,11 @@ fn worker_loop(shared: &Shared) {
                 &shared.pipeline
             };
 
+            // A trace-requesting job arms tracing for exactly its own
+            // run (globally-armed tracing — LRA_TRACE — covers every
+            // job without this guard). The guard drops right after the
+            // item is built.
+            let armed = job.trace.then(lra_core::trace::arm);
             #[cfg(any(test, feature = "chaos"))]
             let item = if fault.panic {
                 chaos_panic_item(&job.function)
@@ -605,11 +664,17 @@ fn worker_loop(shared: &Shared) {
             #[cfg(not(any(test, feature = "chaos")))]
             let item =
                 batch::allocate_item_deadline(pipeline, &job.function, &mut scratch, remaining);
+            drop(armed);
 
             if degraded {
                 shared.metrics.record_degraded();
             }
-            shared.metrics.record_served(job.enqueued.elapsed());
+            if let Some(trace) = &item.trace {
+                shared.metrics.record_phases(trace);
+            }
+            shared
+                .metrics
+                .record_served(worker_index, job.enqueued.elapsed());
             respond(job.responder, ServeOutcome::Served(item));
         }
     }

@@ -575,3 +575,170 @@ fn overload_degrades_to_the_cheap_tier_and_stays_available() {
         "the tail of the burst drains below the watermark at full tier"
     );
 }
+
+#[test]
+fn tracing_on_vs_off_is_byte_identical_for_batch_output() {
+    // The determinism contract of lra_core::trace: arming the recorder
+    // (guard or LRA_TRACE env) must not move a single output byte.
+    let fs = jit_corpus(6);
+    let batch = BatchAllocator::new(portfolio_pipeline()).threads(1);
+    let reference = batch.run(&fs);
+    assert!(
+        reference.items.iter().all(|i| i.trace.is_none()),
+        "tracing off: no traces collected"
+    );
+
+    // Door 1: the RAII guard.
+    let armed = {
+        let _on = lra_core::trace::arm();
+        batch.run(&fs)
+    };
+    assert_eq!(
+        armed.render(),
+        reference.render(),
+        "armed tracing must not change the rendered report"
+    );
+    for item in &armed.items {
+        let trace = item.trace.as_ref().expect("armed run collects per item");
+        assert_eq!(
+            trace.phases[lra_core::trace::Phase::Pipeline as usize].count,
+            1
+        );
+        assert!(trace.total_self_ns() > 0);
+    }
+
+    // Door 2: the LRA_TRACE environment variable, re-probed after a
+    // reset. Safe even though other tests run concurrently: tracing
+    // never changes output bytes, so at worst they also collect.
+    lra_core::trace::reset_for_tests();
+    std::env::set_var("LRA_TRACE", "1");
+    let from_env = batch.run(&fs);
+    std::env::remove_var("LRA_TRACE");
+    lra_core::trace::reset_for_tests();
+    assert_eq!(
+        from_env.render(),
+        reference.render(),
+        "LRA_TRACE=1 must not change the rendered report"
+    );
+    assert!(
+        from_env.items.iter().all(|i| i.trace.is_some()),
+        "LRA_TRACE=1 collects per item"
+    );
+}
+
+#[test]
+fn traced_submissions_return_traces_and_identical_rows() {
+    let fs = jit_corpus(5);
+    let reference: Vec<String> = BatchAllocator::new(portfolio_pipeline())
+        .threads(1)
+        .run(&fs)
+        .rows()
+        .iter()
+        .map(|r| format!("{r:?}"))
+        .collect();
+    let service = AllocationService::start(ServiceConfig::new(portfolio_pipeline()).workers(2));
+    for (k, f) in fs.iter().enumerate() {
+        let item = service
+            .submit_traced(f.clone(), None)
+            .expect("queue has room")
+            .wait();
+        assert_eq!(
+            format!("{:?}", item.row()),
+            reference[k],
+            "traced request {k} must produce the batch row"
+        );
+        let trace = item.trace.as_ref().expect("traced submission collects");
+        assert_eq!(
+            trace.phases[lra_core::trace::Phase::Pipeline as usize].count,
+            1
+        );
+    }
+    // Untraced submissions on the same service stay trace-free.
+    let plain = service.submit(fs[0].clone()).expect("accepted").wait();
+    assert!(
+        plain.trace.is_none(),
+        "untraced submissions collect nothing"
+    );
+    let metrics = service.shutdown();
+    // The per-phase aggregates saw every traced request.
+    let allocate = metrics.phases[lra_core::trace::Phase::Allocate as usize];
+    assert!(
+        allocate.count >= fs.len() as u64,
+        "allocate spans must aggregate into the service metrics"
+    );
+    assert!(allocate.self_ns > 0);
+}
+
+#[test]
+fn tcp_trace_requests_echo_ids_and_carry_flat_phase_timings() {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    let fs = jit_corpus(2);
+    let server = serve(
+        "127.0.0.1:0",
+        ServiceConfig::new(portfolio_pipeline())
+            .workers(1)
+            .queue_capacity(8),
+    )
+    .unwrap();
+    let stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut send = |line: &str| {
+        let mut w = &stream;
+        w.write_all(line.as_bytes()).unwrap();
+        w.write_all(b"\n").unwrap();
+        w.flush().unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        resp
+    };
+    let text = lra_ir::textio::print(&fs[0]);
+
+    // Baseline: the untraced response for the same function.
+    let plain = send(&lra_service::proto::alloc_request(1, &text));
+    assert!(plain.contains("\"ok\":true"));
+    assert!(!plain.contains("trace_id"));
+
+    // Traced request: id echoed, flat per-phase self-times appended.
+    let traced = send(&lra_service::proto::alloc_request_full(
+        2,
+        &text,
+        None,
+        Some("req-abc/1"),
+        true,
+    ));
+    assert!(traced.contains("\"ok\":true"), "traced response: {traced}");
+    assert!(traced.contains("\"trace_id\":\"req-abc/1\""));
+    assert!(traced.contains("\"trace_total_us\":"));
+    assert!(traced.contains("\"phase_allocate_us\":"));
+    assert!(traced.contains("\"trace_rounds\":"));
+    // Still a flat JSON object the protocol parser accepts as a row,
+    // and the row itself is byte-identical to the untraced one.
+    let row_of = |resp: &str| match lra_service::proto::parse_response(resp.trim_end()).unwrap() {
+        lra_service::proto::Response::Row { row, .. } => format!("{row:?}"),
+        other => panic!("expected a row, got {other:?}"),
+    };
+    assert_eq!(row_of(&traced), row_of(&plain));
+
+    // trace_id without trace:true echoes the id and nothing else.
+    let tagged = send(&lra_service::proto::alloc_request_full(
+        3,
+        &text,
+        None,
+        Some("tag-only"),
+        false,
+    ));
+    assert!(tagged.contains("\"trace_id\":\"tag-only\""));
+    assert!(!tagged.contains("phase_allocate_us"));
+    assert_eq!(row_of(&tagged), row_of(&plain));
+
+    // The metrics op returns a Prometheus exposition ending in # EOF,
+    // with the traced request's phases aggregated.
+    let mut client = Client::connect(&server.local_addr().to_string()).unwrap();
+    let exposition = client.metrics().unwrap();
+    assert!(exposition.ends_with("# EOF\n"));
+    assert!(exposition.contains("lra_requests_served_total 3"));
+    assert!(exposition.contains("lra_service_time_us_bucket"));
+    assert!(exposition.contains("lra_phase_self_us_total{phase=\"allocate\"}"));
+    client.shutdown().unwrap();
+    server.wait();
+}
